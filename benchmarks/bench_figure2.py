@@ -1,0 +1,77 @@
+"""Figure 2: parameterized rectification-point selection.
+
+The figure shows the multiplexer construction realizing the selection
+of pin ``q_2`` by the minterm ``t_i^2 = ~t_i0 & t_i1`` (big-endian code
+of 2 over two bits is '10', i.e. t_i0=1 — the paper's figure labels the
+complemented bit first; what matters and is asserted here is the exact
+minterm semantics and the mux realization):
+
+    out(pin) = ite(sel_j, data1_j, original)
+    sel_j    = t_1^j | ... | t_m^j
+    data1_j  = (t_1^j -> y_1) & ... & (t_m^j -> y_m)
+
+For three rectification points over four pins, the bench verifies on
+the BDD level that selecting pin ``q_2`` for point ``i`` forces the pin
+function to ``y_i``, that non-selecting codes keep the original
+function, and that multiple selections of the same pin merge.
+"""
+
+import itertools
+
+from repro.bdd.manager import BddManager
+from repro.eco.points import PointSelector
+
+
+def test_figure2(benchmark, publish):
+    def build():
+        m = BddManager()
+        orig = m.var(m.add_var())
+        ys = [m.var(m.add_var()) for _ in range(3)]
+        selector = PointSelector(m, num_points=3, num_pins=4)
+        sel = selector.selection(2)
+        data1 = selector.data1(2, ys)
+        wired = m.ite(sel, data1, orig)
+        return m, orig, ys, selector, wired
+
+    m, orig, ys, selector, wired = benchmark.pedantic(
+        build, rounds=1, iterations=1)
+
+    def env(t_codes, orig_v, y_vals):
+        assignment = {m.top_var(orig): orig_v}
+        for y, v in zip(ys, y_vals):
+            assignment[m.top_var(y)] = v
+        for i, code in enumerate(t_codes):
+            word = selector.t_vars[i]
+            for b, var in enumerate(word):
+                assignment[var] = bool((code >> (len(word) - 1 - b)) & 1)
+        return assignment
+
+    checks = 0
+    for i in range(3):
+        # point i selects pin 2, the others select pin 0
+        codes = [2 if j == i else 0 for j in range(3)]
+        for orig_v in (False, True):
+            for y_vals in itertools.product([False, True], repeat=3):
+                got = m.evaluate(wired, env(codes, orig_v, y_vals))
+                assert got == y_vals[i], (i, orig_v, y_vals)
+                checks += 1
+
+    # no point selects pin 2: the original function flows through
+    for orig_v in (False, True):
+        got = m.evaluate(wired, env([0, 1, 3], orig_v,
+                                    (True, True, True)))
+        assert got == orig_v
+        checks += 1
+
+    # two points select pin 2 simultaneously: consistent y values pass
+    got = m.evaluate(wired, env([2, 2, 0], False, (True, True, False)))
+    assert got is True
+    checks += 1
+
+    publish("figure2.txt", "\n".join([
+        "Figure 2 reproduction: parameterized pin selection via t-minterms",
+        "  3 rectification points, 4 candidate pins, pin q2 checked",
+        f"  point evaluations verified: {checks}",
+        "  t_i^2 selects q2 for point i; unselected codes pass the",
+        "  original function through; double selection merges.",
+    ]))

@@ -1,0 +1,32 @@
+"""Table 1: characteristics of the ECO test cases.
+
+Regenerates the paper's Table 1 on the scaled suite: input/output/gate/
+net/sink counts plus revised-output counts and percentages.  The shape
+assertions check the properties the paper's suite exhibits: over an
+order of magnitude of size spread and revised fractions from a few
+percent to roughly half of the outputs.
+"""
+
+from repro.bench.runner import table1_row
+from repro.bench.tables import format_table1
+
+
+def test_table1(benchmark, suite_cases, publish):
+    rows = benchmark.pedantic(
+        lambda: [table1_row(suite_cases[cid]) for cid in range(1, 12)],
+        rounds=1, iterations=1)
+    publish("table1.txt", format_table1(rows))
+
+    gates = [r.gates for r in rows]
+    # size spread: largest case well over an order of magnitude above
+    # the smallest (paper: 313 .. 379,784 gates)
+    assert max(gates) / min(gates) > 10
+    # cases 1 and 3 are the two largest, as in the paper
+    by_size = sorted(rows, key=lambda r: -r.gates)
+    assert {by_size[0].case_id, by_size[1].case_id} == {1, 3}
+    # revised fractions span under 5% up to over 30%
+    fractions = [r.revised_percent for r in rows]
+    assert min(fractions) < 5.0
+    assert max(fractions) > 30.0
+    # every case has at least one revised output
+    assert all(r.revised_outputs >= 1 for r in rows)

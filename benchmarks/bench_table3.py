@@ -1,0 +1,31 @@
+"""Table 3: rectification impact on design slack.
+
+Regenerates the paper's timing experiment: the four timing-critical
+cases (ids 12-15) are rectified by DeltaSyn and by syseco (with its
+level-driven rewire selection enabled), then worst slack is measured
+against the pre-ECO clock with the load-aware STA substrate.
+
+Shape assertion: syseco's patches degrade slack no more than DeltaSyn's
+in aggregate, with no fewer gates saved.
+"""
+
+from repro.bench.runner import table3_row
+from repro.bench.tables import format_table3
+
+
+def test_table3(benchmark, timing_cases, publish):
+    rows = benchmark.pedantic(
+        lambda: [table3_row(timing_cases[cid])
+                 for cid in (12, 13, 14, 15)],
+        rounds=1, iterations=1)
+    publish("table3.txt", format_table3(rows))
+
+    # syseco's patches are never larger in aggregate
+    assert sum(r.syseco_gates for r in rows) <= \
+        sum(r.deltasyn_gates for r in rows)
+    # and its slack impact is no worse in aggregate
+    assert sum(r.syseco_slack_ps for r in rows) >= \
+        sum(r.deltasyn_slack_ps for r in rows) - 1e-6
+    # per case, syseco is within a small margin of DeltaSyn's slack
+    for r in rows:
+        assert r.syseco_slack_ps >= r.deltasyn_slack_ps - 25.0, r

@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark harness.
+
+Suite cases are built once per session; every bench file that needs a
+case pulls it from here.  Rendered tables are written to
+``benchmarks/results/`` so EXPERIMENTS.md can reference one canonical
+set of numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import pytest
+
+from repro.workloads.suite import (
+    EcoCase,
+    build_case,
+    build_timing_case,
+)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def suite_cases() -> Dict[int, EcoCase]:
+    """All 11 Table-1/2 cases, built once."""
+    return {cid: build_case(cid) for cid in range(1, 12)}
+
+
+@pytest.fixture(scope="session")
+def timing_cases() -> Dict[int, EcoCase]:
+    """The 4 Table-3 cases, built once."""
+    return {cid: build_timing_case(cid) for cid in (12, 13, 14, 15)}
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def publish(results_dir):
+    """Callable that prints a rendered table and persists it."""
+
+    def _publish(name: str, text: str) -> None:
+        print()
+        print(text)
+        path = os.path.join(results_dir, name)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+
+    return _publish

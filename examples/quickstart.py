@@ -1,0 +1,54 @@
+"""Quickstart: rectify a one-gate bug with syseco.
+
+The current implementation computes ``o = (a | b) ^ c`` while the
+revised specification wants ``o = (a & b) ^ c``.  The engine locates a
+rectification point, rewires it to a clone of the revised logic, proves
+full equivalence with its own SAT solver and reports the Table-2 style
+patch attributes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Circuit, EcoConfig, SysEco, check_equivalence
+
+
+def build_specification() -> Circuit:
+    spec = Circuit("spec")
+    a, b, c = spec.add_inputs(["a", "b", "c"])
+    g1 = spec.and_(a, b, name="g1")
+    spec.set_output("o", spec.xor(g1, c, name="g2"))
+    return spec
+
+
+def build_implementation() -> Circuit:
+    impl = Circuit("impl")
+    a, b, c = impl.add_inputs(["a", "b", "c"])
+    h1 = impl.or_(a, b, name="h1")  # the bug: OR instead of AND
+    impl.set_output("o", impl.xor(h1, c, name="h2"))
+    return impl
+
+
+def main() -> None:
+    spec = build_specification()
+    impl = build_implementation()
+
+    engine = SysEco(EcoConfig(num_samples=4))
+    result = engine.rectify(impl, spec)
+
+    print("committed rewire operations:")
+    for op in result.patch.ops:
+        print(f"  {op.describe()}")
+
+    stats = result.stats()
+    print(f"\npatch attributes: inputs={stats.inputs} "
+          f"outputs={stats.outputs} gates={stats.gates} "
+          f"nets={stats.nets}")
+    print(f"runtime: {result.runtime_seconds:.3f}s")
+
+    verdict = check_equivalence(result.patched, spec)
+    print(f"formally equivalent to the revised spec: {verdict.equivalent}")
+    assert verdict.equivalent is True
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Reproduction of "Comprehensive Search for ECO Rectification Using
+Symbolic Sampling" (Kravets, Lee, Jiang — DAC 2019).
+
+The package implements the paper's syseco engine — rewire-based ECO
+rectification searched in a symbolic sampling domain — together with
+every substrate it relies on: a netlist data model, an ROBDD package, a
+CDCL SAT solver, combinational equivalence checking, synthesis scripts,
+static timing analysis, the DeltaSyn and cone-replacement baselines,
+and the synthetic workload suite used to regenerate the paper's tables.
+
+Quickstart::
+
+    from repro import Circuit, SysEco, EcoConfig
+
+    impl, spec = ...            # same input/output port names
+    result = SysEco(EcoConfig()).rectify(impl, spec)
+    print(result.stats())       # patch inputs/outputs/gates/nets
+"""
+
+from repro.netlist import Circuit, Pin, GateType
+from repro.eco import SysEco, EcoConfig, rectify, RectificationResult
+from repro.cec import check_equivalence
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Circuit",
+    "Pin",
+    "GateType",
+    "SysEco",
+    "EcoConfig",
+    "rectify",
+    "RectificationResult",
+    "check_equivalence",
+    "__version__",
+]

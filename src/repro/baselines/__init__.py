@@ -1,0 +1,21 @@
+"""Comparator ECO engines.
+
+Two baselines stand in for the paper's reference points (Table 2):
+
+* :mod:`repro.baselines.deltasyn` — a reimplementation of the DeltaSyn
+  approach [Krishnaswamy et al., ICCAD'09]: structural signal
+  correspondence grown from the primary inputs, patch = the unmatched
+  part of the revised cones re-expressed over the matched boundary.
+* :mod:`repro.baselines.conemap` — a deliberately crude cone-replacement
+  ECO standing in for the closed commercial tool's default setting:
+  every failing output's full revised cone is instantiated, shared only
+  at the primary inputs.
+
+Both produce the same result record as the syseco engine, so the
+Table-2 harness treats all three tools uniformly.
+"""
+
+from repro.baselines.deltasyn import DeltaSyn
+from repro.baselines.conemap import ConeMap
+
+__all__ = ["DeltaSyn", "ConeMap"]

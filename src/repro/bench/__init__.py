@@ -1,0 +1,42 @@
+"""Experiment harness helpers.
+
+:mod:`repro.bench.runner` computes the rows of each paper table as
+plain data; :mod:`repro.bench.tables` renders them in the paper's
+layout.  The pytest-benchmark targets under ``benchmarks/`` and the
+EXPERIMENTS.md generator both call into here, so the numbers reported
+everywhere come from one code path.
+"""
+
+from repro.bench.runner import (
+    Table1Row,
+    Table2Row,
+    Table3Row,
+    table1_row,
+    table2_row,
+    table3_row,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.bench.tables import (
+    format_table1,
+    format_table2,
+    format_table3,
+    reduction_ratios,
+)
+
+__all__ = [
+    "Table1Row",
+    "Table2Row",
+    "Table3Row",
+    "table1_row",
+    "table2_row",
+    "table3_row",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "reduction_ratios",
+]

@@ -1,0 +1,150 @@
+"""Computation of the paper's table rows on the scaled suite."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.netlist.stats import circuit_stats
+from repro.cec.equivalence import nonequivalent_outputs
+from repro.eco.config import EcoConfig
+from repro.eco.engine import SysEco
+from repro.eco.patch import PatchStats
+from repro.baselines.conemap import ConeMap
+from repro.baselines.deltasyn import DeltaSyn
+from repro.timing.sta import analyze
+from repro.workloads.suite import (
+    EcoCase,
+    build_case,
+    build_suite,
+    build_timing_case,
+    build_timing_suite,
+)
+
+
+@dataclass
+class Table1Row:
+    """One row of Table 1: test-case characteristics."""
+
+    case_id: int
+    inputs: int
+    outputs: int
+    gates: int
+    nets: int
+    sinks: int
+    revised_outputs: int
+    revised_percent: float
+
+
+@dataclass
+class Table2Row:
+    """One row of Table 2: patch attributes from all sources."""
+
+    case_id: int
+    designer_estimate: int
+    commercial: PatchStats
+    commercial_seconds: float
+    deltasyn: PatchStats
+    deltasyn_seconds: float
+    syseco: PatchStats
+    syseco_seconds: float
+
+
+@dataclass
+class Table3Row:
+    """One row of Table 3: patch gates and post-patch worst slack."""
+
+    case_id: int
+    deltasyn_gates: int
+    deltasyn_slack_ps: float
+    syseco_gates: int
+    syseco_slack_ps: float
+
+
+# ----------------------------------------------------------------------
+def table1_row(case: EcoCase) -> Table1Row:
+    """Characteristics of one ECO case (Table 1 columns)."""
+    stats = circuit_stats(case.impl)
+    revised = nonequivalent_outputs(case.impl, case.spec)
+    return Table1Row(
+        case_id=case.case_id,
+        inputs=stats.inputs,
+        outputs=stats.outputs,
+        gates=stats.gates,
+        nets=stats.nets,
+        sinks=stats.sinks,
+        revised_outputs=len(revised),
+        revised_percent=100.0 * len(revised) / max(1, stats.outputs),
+    )
+
+
+def run_table1(ids: Optional[Sequence[int]] = None) -> List[Table1Row]:
+    """All Table 1 rows (or a subset of case ids)."""
+    return [table1_row(case) for case in build_suite(ids)]
+
+
+# ----------------------------------------------------------------------
+def table2_row(case: EcoCase,
+               config: Optional[EcoConfig] = None) -> Table2Row:
+    """Patch attributes of the three engines on one case."""
+    commercial = ConeMap().rectify(case.impl, case.spec)
+    deltasyn = DeltaSyn().rectify(case.impl, case.spec)
+    syseco = SysEco(config or EcoConfig()).rectify(case.impl, case.spec)
+    return Table2Row(
+        case_id=case.case_id,
+        designer_estimate=case.designer_estimate,
+        commercial=commercial.stats(),
+        commercial_seconds=commercial.runtime_seconds,
+        deltasyn=deltasyn.stats(),
+        deltasyn_seconds=deltasyn.runtime_seconds,
+        syseco=syseco.stats(),
+        syseco_seconds=syseco.runtime_seconds,
+    )
+
+
+def run_table2(ids: Optional[Sequence[int]] = None,
+               config: Optional[EcoConfig] = None) -> List[Table2Row]:
+    """All Table 2 rows (or a subset of case ids)."""
+    return [table2_row(case, config) for case in build_suite(ids)]
+
+
+# ----------------------------------------------------------------------
+#: extra delay charged per patch cell: ECO cells are placed into
+#: leftover space after P&R and pay detour wiring (see DESIGN.md)
+ECO_PLACEMENT_PENALTY_PS = 10.0
+
+
+def table3_row(case: EcoCase) -> Table3Row:
+    """Timing impact of the DeltaSyn and syseco patches on one case.
+
+    The clock period is the unmodified implementation's worst arrival
+    (the design was timing-closed before the ECO), and each tool's
+    post-patch worst slack is measured against that same period, with
+    every gate the patch instantiated charged the post-placement
+    detour penalty.
+    """
+    period = analyze(case.impl).period
+    deltasyn = DeltaSyn().rectify(case.impl, case.spec)
+    syseco = SysEco(EcoConfig(level_aware=True)).rectify(
+        case.impl, case.spec)
+    d_report = analyze(deltasyn.patched, period=period,
+                       eco_gates=deltasyn.patch.cloned_gates,
+                       eco_penalty_ps=ECO_PLACEMENT_PENALTY_PS)
+    s_report = analyze(syseco.patched, period=period,
+                       eco_gates=syseco.patch.cloned_gates,
+                       eco_penalty_ps=ECO_PLACEMENT_PENALTY_PS)
+    return Table3Row(
+        case_id=case.case_id,
+        deltasyn_gates=deltasyn.stats().gates,
+        deltasyn_slack_ps=d_report.worst_slack,
+        syseco_gates=syseco.stats().gates,
+        syseco_slack_ps=s_report.worst_slack,
+    )
+
+
+def run_table3(ids: Optional[Sequence[int]] = None) -> List[Table3Row]:
+    """All Table 3 rows (timing cases 12-15)."""
+    cases = build_timing_suite() if ids is None else \
+        [build_timing_case(i) for i in ids]
+    return [table3_row(case) for case in cases]

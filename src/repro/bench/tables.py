@@ -1,0 +1,94 @@
+"""Rendering of table rows in the paper's layout."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.bench.runner import Table1Row, Table2Row, Table3Row
+
+
+def format_table1(rows: Sequence[Table1Row]) -> str:
+    """Table 1: characteristics of ECO test cases."""
+    lines = [
+        "Table 1: Characteristics of ECO test cases (scaled suite).",
+        f"{'':>4} {'inputs':>7} {'outputs':>8} {'gates':>7} {'nets':>7} "
+        f"{'sinks':>7} | {'rev.out':>7} {'%':>6}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.case_id:>4} {r.inputs:>7} {r.outputs:>8} {r.gates:>7} "
+            f"{r.nets:>7} {r.sinks:>7} | {r.revised_outputs:>7} "
+            f"{r.revised_percent:>6.1f}"
+        )
+    return "\n".join(lines)
+
+
+def _fmt_time(seconds: float) -> str:
+    h = int(seconds // 3600)
+    m = int((seconds % 3600) // 60)
+    s = seconds % 60
+    return f"{h:02d}:{m:02d}:{s:05.2f}"
+
+
+def format_table2(rows: Sequence[Table2Row]) -> str:
+    """Table 2: patch attributes from four sources."""
+    header = (
+        f"{'':>4} {'est.':>5} | "
+        f"{'commercial (in/out/g/n)':>26} | "
+        f"{'DeltaSyn (in/out/g/n, time)':>38} | "
+        f"{'syseco (in/out/g/n, time)':>38}"
+    )
+    lines = ["Table 2: patch attributes: designer estimate, commercial "
+             "proxy, DeltaSyn, syseco.", header]
+    for r in rows:
+        c, d, s = r.commercial, r.deltasyn, r.syseco
+        lines.append(
+            f"{r.case_id:>4} {r.designer_estimate:>5} | "
+            f"{c.inputs:>5}{c.outputs:>6}{c.gates:>6}{c.nets:>7} | "
+            f"{d.inputs:>5}{d.outputs:>6}{d.gates:>6}{d.nets:>7}  "
+            f"{_fmt_time(r.deltasyn_seconds):>11} | "
+            f"{s.inputs:>5}{s.outputs:>6}{s.gates:>6}{s.nets:>7}  "
+            f"{_fmt_time(r.syseco_seconds):>11}"
+        )
+    ratios = reduction_ratios(rows)
+    lines.append(
+        "average reduction ratios of syseco relative to DeltaSyn: "
+        f"inputs {ratios['inputs']:.2f}, outputs {ratios['outputs']:.2f}, "
+        f"gates {ratios['gates']:.2f}, nets {ratios['nets']:.2f}"
+    )
+    return "\n".join(lines)
+
+
+def reduction_ratios(rows: Sequence[Table2Row]) -> Dict[str, float]:
+    """Per-attribute mean of syseco/DeltaSyn ratios (Table 2 footer).
+
+    Cases where DeltaSyn's attribute is zero are skipped for that
+    attribute (no ratio is defined there).
+    """
+    sums = {k: 0.0 for k in ("inputs", "outputs", "gates", "nets")}
+    counts = {k: 0 for k in sums}
+    for r in rows:
+        for k in sums:
+            denom = getattr(r.deltasyn, k)
+            if denom:
+                sums[k] += getattr(r.syseco, k) / denom
+                counts[k] += 1
+    return {k: (sums[k] / counts[k] if counts[k] else float("nan"))
+            for k in sums}
+
+
+def format_table3(rows: Sequence[Table3Row]) -> str:
+    """Table 3: rectification impact on design slack."""
+    lines = [
+        "Table 3: rectification impact on design slack "
+        "(worst slack vs. pre-ECO clock).",
+        f"{'':>4} {'DeltaSyn gates':>14} {'slack,ps':>9} | "
+        f"{'syseco gates':>12} {'slack,ps':>9}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.case_id:>4} {r.deltasyn_gates:>14} "
+            f"{r.deltasyn_slack_ps:>9.2f} | {r.syseco_gates:>12} "
+            f"{r.syseco_slack_ps:>9.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,143 @@
+"""SAT-based equivalence queries over output pairs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import NetlistError
+from repro.netlist.circuit import Circuit
+from repro.sat import Solver, SAT, UNSAT, UNKNOWN
+from repro.sat.tseitin import CircuitEncoder
+
+
+@dataclass
+class EquivalenceResult:
+    """Outcome of an equivalence query.
+
+    ``equivalent`` is ``True`` / ``False`` / ``None`` (budget exhausted).
+    On ``False``, ``counterexample`` maps primary inputs to values and
+    ``failing_outputs`` lists the ports that differ under it.
+    """
+
+    equivalent: Optional[bool]
+    counterexample: Optional[Dict[str, bool]] = None
+    failing_outputs: Tuple[str, ...] = ()
+
+    def __bool__(self) -> bool:
+        return self.equivalent is True
+
+
+class PairwiseChecker:
+    """One incremental SAT instance comparing two circuits.
+
+    Encodes both circuits once over shared input variables and exposes
+    per-output-pair queries through assumptions, so checking many pairs
+    reuses all learned clauses.
+    """
+
+    def __init__(self, left: Circuit, right: Circuit):
+        self.left = left
+        self.right = right
+        self.solver = Solver()
+        encoder = CircuitEncoder(self.solver)
+        shared = {}
+        self.input_vars: Dict[str, int] = {}
+        left_map = encoder.encode(left)
+        for n in left.inputs:
+            shared[n] = left_map[n]
+        right_map = encoder.encode(right, input_vars=shared)
+        for n in set(left.inputs) | set(right.inputs):
+            self.input_vars[n] = shared.get(n, right_map.get(n))
+        self._diff_var: Dict[str, int] = {}
+        self._encoder = encoder
+        self._left_map = left_map
+        self._right_map = right_map
+
+    def diff_literal(self, port: str) -> int:
+        """Solver literal asserting 'port differs between the sides'."""
+        if port not in self._diff_var:
+            if port not in self.left.outputs or port not in self.right.outputs:
+                raise NetlistError(f"output {port!r} missing on one side")
+            a = self._left_map[self.left.outputs[port]]
+            b = self._right_map[self.right.outputs[port]]
+            self._diff_var[port] = self._encoder._encode_xor2(a, b)
+        return self._diff_var[port]
+
+    def check_pair(self, port: str,
+                   conflict_budget: Optional[int] = None) -> EquivalenceResult:
+        """Is one output pair equivalent?"""
+        lit = self.diff_literal(port)
+        status = self.solver.solve(assumptions=[lit],
+                                   conflict_budget=conflict_budget)
+        if status == UNSAT:
+            return EquivalenceResult(True)
+        if status == UNKNOWN:
+            return EquivalenceResult(None)
+        cex = self._extract_inputs()
+        return EquivalenceResult(False, counterexample=cex,
+                                 failing_outputs=(port,))
+
+    def _extract_inputs(self) -> Dict[str, bool]:
+        model = self.solver.model()
+        return {
+            n: model.get(v, False) for n, v in self.input_vars.items()
+        }
+
+
+def check_output_pair(left: Circuit, right: Circuit, port: str,
+                      conflict_budget: Optional[int] = None
+                      ) -> EquivalenceResult:
+    """One-shot equivalence query for a single output port."""
+    return PairwiseChecker(left, right).check_pair(
+        port, conflict_budget=conflict_budget)
+
+
+def check_equivalence(left: Circuit, right: Circuit,
+                      outputs: Optional[Sequence[str]] = None,
+                      conflict_budget: Optional[int] = None
+                      ) -> EquivalenceResult:
+    """Full equivalence over shared (or given) output ports."""
+    if outputs is None:
+        outputs = [p for p in left.outputs if p in right.outputs]
+    if not outputs:
+        raise NetlistError("no shared outputs to compare")
+    checker = PairwiseChecker(left, right)
+    diff_lits = [checker.diff_literal(p) for p in outputs]
+    # one auxiliary 'any difference' variable
+    any_var = checker.solver.new_var()
+    checker.solver.add_clause([-any_var] + diff_lits)
+    for lit in diff_lits:
+        checker.solver.add_clause([any_var, -lit])
+    status = checker.solver.solve(assumptions=[any_var],
+                                  conflict_budget=conflict_budget)
+    if status == UNSAT:
+        return EquivalenceResult(True)
+    if status == UNKNOWN:
+        return EquivalenceResult(None)
+    model = checker.solver.model()
+    failing = tuple(
+        p for p, lit in zip(outputs, diff_lits) if model.get(lit, False)
+    )
+    return EquivalenceResult(False,
+                             counterexample=checker._extract_inputs(),
+                             failing_outputs=failing)
+
+
+def nonequivalent_outputs(left: Circuit, right: Circuit,
+                          outputs: Optional[Sequence[str]] = None
+                          ) -> List[str]:
+    """All output ports on which the two circuits disagree.
+
+    This is the work-list of the ECO flow (Section 5.2): the engine
+    iterates over corresponding output pairs that remain non-equivalent.
+    """
+    if outputs is None:
+        outputs = [p for p in left.outputs if p in right.outputs]
+    checker = PairwiseChecker(left, right)
+    bad: List[str] = []
+    for port in outputs:
+        result = checker.check_pair(port)
+        if result.equivalent is False:
+            bad.append(port)
+    return bad

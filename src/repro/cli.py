@@ -1,0 +1,287 @@
+"""Command-line interface.
+
+Run ``python -m repro <command> --help``.  Commands:
+
+* ``stats``  — netlist statistics, logic depth and timing summary;
+* ``cec``    — combinational equivalence check with counterexample;
+* ``synth``  — run the heavy or light optimization script;
+* ``eco``    — rectify an implementation against a revised spec with
+  any of the three engines, writing the patched netlist and a patch
+  report;
+* ``tables`` — regenerate the paper's tables on the scaled suite.
+
+All netlists are exchanged as BLIF; ``eco`` and ``synth`` can also emit
+structural Verilog with ``--verilog``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+
+
+def _load_netlist(path: str):
+    """Read a netlist, dispatching on the file extension.
+
+    ``.blif`` -> BLIF, ``.v``/``.sv`` -> structural Verilog,
+    ``.aag`` -> ASCII AIGER; anything else defaults to BLIF.
+    """
+    from repro.netlist import read_aiger, read_blif, read_verilog
+
+    lower = path.lower()
+    if lower.endswith((".v", ".sv")):
+        return read_verilog(path)
+    if lower.endswith(".aag"):
+        return read_aiger(path)
+    return read_blif(path)
+
+
+def _save_netlist(circuit, path: str) -> None:
+    """Write a netlist, dispatching on the file extension."""
+    from repro.netlist import write_aiger, write_blif, write_verilog
+
+    lower = path.lower()
+    if lower.endswith((".v", ".sv")):
+        write_verilog(circuit, path)
+    elif lower.endswith(".aag"):
+        write_aiger(circuit, path)
+    else:
+        write_blif(circuit, path)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.netlist import circuit_stats
+    from repro.netlist.traverse import levelize
+    from repro.timing import analyze
+
+    circuit = _load_netlist(args.netlist)
+    stats = circuit_stats(circuit)
+    print(f"name    : {circuit.name}")
+    print(f"inputs  : {stats.inputs}")
+    print(f"outputs : {stats.outputs}")
+    print(f"gates   : {stats.gates}")
+    print(f"nets    : {stats.nets}")
+    print(f"sinks   : {stats.sinks}")
+    if circuit.gates:
+        levels = levelize(circuit)
+        print(f"depth   : {max(levels.values())} levels")
+        report = analyze(circuit)
+        print(f"arrival : {report.max_arrival:.1f} ps "
+              f"(critical output {report.worst_output})")
+    return 0
+
+
+def _cmd_cec(args: argparse.Namespace) -> int:
+    from repro.cec import check_equivalence
+
+    left = _load_netlist(args.left)
+    right = _load_netlist(args.right)
+    result = check_equivalence(left, right,
+                               conflict_budget=args.budget)
+    if result.equivalent is True:
+        print("EQUIVALENT")
+        return 0
+    if result.equivalent is None:
+        print("UNDECIDED (conflict budget exhausted)")
+        return 2
+    print("NOT EQUIVALENT")
+    print(f"failing outputs: {', '.join(result.failing_outputs)}")
+    print("counterexample:")
+    for name in sorted(result.counterexample):
+        print(f"  {name} = {int(result.counterexample[name])}")
+    return 1
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    from repro.netlist import circuit_stats, write_verilog
+    from repro.synth import optimize_heavy, optimize_light
+
+    circuit = _load_netlist(args.netlist)
+    before = circuit_stats(circuit)
+    if args.script == "heavy":
+        result = optimize_heavy(circuit, seed=args.seed)
+    else:
+        result = optimize_light(circuit)
+    after = circuit_stats(result)
+    print(f"{args.script} script: {before.gates} -> {after.gates} gates, "
+          f"{before.nets} -> {after.nets} nets")
+    _save_netlist(result, args.output)
+    print(f"wrote {args.output}")
+    if args.verilog:
+        write_verilog(result, args.verilog)
+        print(f"wrote {args.verilog}")
+    return 0
+
+
+def _cmd_eco(args: argparse.Namespace) -> int:
+    from repro.cec import check_equivalence
+    from repro.eco import EcoConfig, SysEco
+    from repro.baselines import ConeMap, DeltaSyn
+    from repro.netlist import write_verilog
+
+    impl = _load_netlist(args.impl)
+    spec = _load_netlist(args.spec)
+
+    if args.engine == "syseco":
+        engine = SysEco(EcoConfig(
+            num_samples=args.samples,
+            max_points=args.max_points,
+            level_aware=args.level_aware,
+            resynthesis=args.resynthesis,
+            seed=args.seed,
+        ))
+    elif args.engine == "deltasyn":
+        engine = DeltaSyn()
+    else:
+        engine = ConeMap()
+
+    result = engine.rectify(impl, spec)
+    from repro.eco.report import format_patch_report
+    print(format_patch_report(result, impl=impl,
+                              title=f"ECO with {args.engine}"))
+
+    verdict = check_equivalence(result.patched, spec)
+    print(f"verified: {verdict.equivalent}")
+    if args.output:
+        _save_netlist(result.patched, args.output)
+        print(f"wrote {args.output}")
+    if args.verilog:
+        write_verilog(result.patched, args.verilog)
+        print(f"wrote {args.verilog}")
+    if args.patch_out:
+        patch_circuit, port_map = result.patch.extract_circuit(
+            result.patched)
+        _save_netlist(patch_circuit, args.patch_out)
+        print(f"wrote {args.patch_out} "
+              f"({len(port_map)} rectification point(s))")
+        for port, pin in sorted(port_map.items()):
+            print(f"  {port} -> {pin!r}")
+    return 0 if verdict.equivalent is True else 1
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    from repro.eco.analysis import diagnose, format_diagnosis
+
+    impl = _load_netlist(args.impl)
+    spec = _load_netlist(args.spec)
+    diagnosis = diagnose(impl, spec, rounds=args.rounds)
+    print(format_diagnosis(diagnosis))
+    if args.suggest:
+        config = diagnosis.suggest_config()
+        print("\nsuggested engine settings:")
+        print(f"  --samples {config.num_samples}")
+        if config.exact_domain_max_inputs:
+            print(f"  exact domain (support <= "
+                  f"{config.exact_domain_max_inputs} inputs)")
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        format_table1, format_table2, format_table3,
+        run_table1, run_table2, run_table3,
+    )
+
+    ids = None
+    if args.cases:
+        ids = [int(x) for x in args.cases.split(",")]
+    wanted = args.table or "123"
+    if "1" in wanted:
+        print(format_table1(run_table1(ids)))
+        print()
+    if "2" in wanted:
+        print(format_table2(run_table2(ids)))
+        print()
+    if "3" in wanted:
+        timing_ids = None
+        if ids:
+            timing_ids = [i for i in ids if 12 <= i <= 15] or None
+        print(format_table3(run_table3(timing_ids)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="syseco reproduction: rewire-based ECO rectification "
+                    "via symbolic sampling (DAC 2019)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("stats", help="netlist statistics and timing")
+    p.add_argument("netlist", help="BLIF file")
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("cec", help="combinational equivalence check")
+    p.add_argument("left", help="BLIF file")
+    p.add_argument("right", help="BLIF file")
+    p.add_argument("--budget", type=int, default=None,
+                   help="SAT conflict budget")
+    p.set_defaults(func=_cmd_cec)
+
+    p = sub.add_parser("synth", help="run an optimization script")
+    p.add_argument("netlist", help="input BLIF file")
+    p.add_argument("-o", "--output", required=True, help="output BLIF")
+    p.add_argument("--script", choices=["heavy", "light"],
+                   default="light")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--verilog", help="also write structural Verilog")
+    p.set_defaults(func=_cmd_synth)
+
+    p = sub.add_parser("eco", help="rectify an implementation")
+    p.add_argument("--impl", required=True,
+                   help="current implementation C (BLIF)")
+    p.add_argument("--spec", required=True,
+                   help="revised specification C' (BLIF)")
+    p.add_argument("-o", "--output", help="patched netlist (BLIF)")
+    p.add_argument("--verilog", help="patched netlist (Verilog)")
+    p.add_argument("--patch-out",
+                   help="write the patch itself as a standalone netlist")
+    p.add_argument("--engine",
+                   choices=["syseco", "deltasyn", "conemap"],
+                   default="syseco")
+    p.add_argument("--samples", type=int, default=16,
+                   help="sampling-domain size N")
+    p.add_argument("--max-points", type=int, default=2,
+                   help="largest rectification point-set size m")
+    p.add_argument("--level-aware", action="store_true",
+                   help="level-driven rewire selection (Table 3 mode)")
+    p.add_argument("--resynthesis", action="store_true",
+                   help="run the rectification-logic resynthesis pass")
+    p.add_argument("--seed", type=int, default=2019)
+    p.set_defaults(func=_cmd_eco)
+
+    p = sub.add_parser("diagnose",
+                       help="characterize an ECO instance before running")
+    p.add_argument("--impl", required=True,
+                   help="current implementation C (BLIF)")
+    p.add_argument("--spec", required=True,
+                   help="revised specification C' (BLIF)")
+    p.add_argument("--rounds", type=int, default=16,
+                   help="simulation rounds for error-rate estimates")
+    p.add_argument("--suggest", action="store_true",
+                   help="print suggested engine settings")
+    p.set_defaults(func=_cmd_diagnose)
+
+    p = sub.add_parser("tables", help="regenerate the paper's tables")
+    p.add_argument("--table", help="subset, e.g. '1' or '13'")
+    p.add_argument("--cases", help="comma-separated case ids")
+    p.set_defaults(func=_cmd_tables)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""Configuration of the syseco engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class EcoConfig:
+    """Tuning knobs of the rectification search.
+
+    Attributes:
+        num_samples: size ``N`` of the sampling domain (Section 5.1);
+            ``ceil(log2 N)`` ``z`` variables are allocated.  Larger
+            domains mean fewer false-positive candidates but bigger
+            BDDs.
+        max_points: largest rectification point-set size ``m`` tried
+            (the engine starts at 1 and grows on failure).
+        max_candidate_pins: cap ``M`` on the sink pins considered as
+            rectification points per failing output.
+        max_rewire_candidates: cap on candidate rewiring nets per
+            rectification point (ordered by rectification utility).
+        prime_limit: number of prime cubes of ``H(t)`` expanded into
+            candidate point-sets.
+        pointset_limit: number of candidate point-sets examined per
+            failing output.
+        choice_limit: number of rewiring-choice assignments of
+            ``Xi(c)`` validated per point-set.
+        sat_budget: conflict budget per validation SAT call (the
+            'resource-constrained SAT solver').
+        bdd_node_limit: node cap of the sampling-domain BDD manager;
+            exceeding it shrinks the candidate-pin set and retries.
+        sim_rounds: 64-pattern random simulation rounds used by the
+            utility heuristic on top of the error samples.
+        error_bias: fraction of the sampling domain drawn from the
+            error domain ``E`` (the remainder is uniform random);
+            the paper observes error-domain samples give fewer false
+            positives.
+        use_impl_nets / use_spec_nets: allow rewiring sources from the
+            current implementation / the synthesized specification
+            (both True reproduces the paper; ablation B toggles them).
+        utility_ordering: order candidate rewiring nets by the Section
+            4.3 utility ratio (ablation C toggles this).
+        level_aware: prefer rewire choices that do not increase logic
+            depth (the 'level-driven optimization decisions' behind
+            Table 3).
+        resynthesis: run the rectification-logic resynthesis post-pass
+            (the paper's future-work direction, Section 7): cloned
+            patch logic is re-expressed as single gates over existing
+            nets where SAT proves the equality.
+        sample_diversify: harvest a larger error pool and keep a greedy
+            max-Hamming-distance subset (the paper's other future-work
+            direction: sampling domain selection).
+        exact_domain_max_inputs: when a failing cone's structural
+            support has at most this many inputs, enumerate it
+            completely instead of sampling — the Section 4 computation
+            in its exact form (0 disables; 8 is a practical value).
+        cegar_refinement: when every sampled candidate for an output is
+            refuted on the full domain, fold the refuting
+            counterexamples back into the sample set and search once
+            more — counterexample-guided domain refinement.
+        joint_outputs: when greater than 1, failing outputs whose cones
+            overlap are rectified *jointly* — one point-set and one
+            rewiring must fix the whole group (addresses the paper's
+            single-output-view limitation; groups of this size at most).
+        seed: randomization seed (sampling, simulation).
+    """
+
+    num_samples: int = 16
+    max_points: int = 2
+    max_candidate_pins: int = 20
+    max_rewire_candidates: int = 8
+    prime_limit: int = 8
+    pointset_limit: int = 12
+    choice_limit: int = 16
+    sat_budget: int = 50000
+    bdd_node_limit: int = 400000
+    sim_rounds: int = 4
+    error_bias: float = 1.0
+    use_impl_nets: bool = True
+    use_spec_nets: bool = True
+    utility_ordering: bool = True
+    level_aware: bool = False
+    resynthesis: bool = False
+    sample_diversify: bool = False
+    exact_domain_max_inputs: int = 0
+    cegar_refinement: bool = True
+    joint_outputs: int = 1
+    seed: int = 2019
+
+    def __post_init__(self) -> None:
+        if self.num_samples < 1:
+            raise ValueError("num_samples must be positive")
+        if self.max_points < 1:
+            raise ValueError("max_points must be positive")
+        if not (self.use_impl_nets or self.use_spec_nets):
+            raise ValueError("at least one rewiring-net source is required")
+        if not 0.0 <= self.error_bias <= 1.0:
+            raise ValueError("error_bias must be in [0, 1]")

@@ -1,0 +1,619 @@
+"""The syseco rectification engine: overall flow of Section 5.2.
+
+``RewireRectification`` iterates over the non-equivalent output pairs
+of the current implementation ``C`` and revised specification ``C'``
+(smallest cones first) and, per output:
+
+1. builds an error-biased symbolic sampling domain;
+2. enumerates feasible rectification point-sets via ``H(t)``;
+3. ranks candidate rewiring nets per point (structural filter +
+   rectification utility);
+4. solves ``Xi(c)`` for valid rewiring choices, cheapest first;
+5. validates each choice on the full domain with a resource-constrained
+   SAT solver, favoring choices that fix the most outputs and rejecting
+   any that damage an already-correct output.
+
+A guaranteed fallback (rewiring the output port itself to a clone of
+the revised function — the completeness argument of Section 3.3)
+handles outputs the search cannot fix within budget.  Afterwards the
+patch inputs are refined by sweeping against existing logic.
+"""
+
+from __future__ import annotations
+
+import logging
+import random
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import BddNodeLimitError, EcoError
+from repro.bdd.manager import BddManager
+from repro.netlist.circuit import Circuit, Pin
+from repro.netlist.gate import WORD_MASK
+from repro.netlist.simulate import patterns_to_words, simulate_words
+from repro.netlist.traverse import (
+    levelize,
+    support_masks,
+    topological_order,
+    transitive_fanin,
+)
+from repro.cec.equivalence import check_equivalence, nonequivalent_outputs
+from repro.eco.choices import (
+    enumerate_rewiring_choices,
+    make_clone_aware_cost,
+)
+from repro.eco.config import EcoConfig
+from repro.eco.patch import Patch, RectificationResult, RewireOp
+from repro.eco.points import feasible_point_sets
+from repro.eco.rewiring import RewireCandidate, RewiringContext
+from repro.eco.samples import collect_error_samples
+from repro.eco.sampling import SamplingDomain
+from repro.eco.sweep import refine_patch_inputs
+from repro.eco.validate import (
+    SimulationFilter,
+    ValidationOutcome,
+    validate_rewire,
+)
+
+
+logger = logging.getLogger("repro.eco")
+
+
+class SysEco:
+    """Rewire-based ECO rectification engine.
+
+    One engine instance carries a configuration and can rectify many
+    designs; all state of a run lives in the run itself.
+    """
+
+    def __init__(self, config: Optional[EcoConfig] = None):
+        self.config = config or EcoConfig()
+
+    # ------------------------------------------------------------------
+    def rectify(self, impl: Circuit, spec: Circuit) -> RectificationResult:
+        """Rectify ``impl`` to match ``spec``; returns the result record.
+
+        Both circuits must share primary-input and output-port names.
+        Raises :class:`EcoError` when the final verification cannot
+        prove full equivalence.
+        """
+        started = time.time()
+        self._check_interfaces(impl, spec)
+        rng = random.Random(self.config.seed)
+        self._counters = {"choices": 0, "sim_rejects": 0,
+                          "sat_validations": 0, "point_sets": 0,
+                          "fallbacks": 0}
+
+        work = impl.copy()
+        patch = Patch()
+        per_output: Dict[str, str] = {}
+
+        failing = nonequivalent_outputs(work, spec)
+        failing = self._order_by_cone(work, failing)
+        logger.info("rectifying %s: %d of %d outputs non-equivalent",
+                    impl.name, len(failing), len(impl.outputs))
+
+        while failing:
+            port = failing[0]
+            outcome = None
+            how = "rewire"
+            if self.config.joint_outputs > 1 and len(failing) > 1:
+                group = self._joint_group(work, failing)
+                if len(group) > 1:
+                    outcome = self._rectify_joint(work, spec, group,
+                                                  failing, patch, rng)
+                    if outcome is not None:
+                        how = "joint-rewire"
+            if outcome is None:
+                outcome = self._rectify_output(work, spec, port, failing,
+                                               patch, rng)
+            if outcome is None:
+                outcome = self._fallback(work, spec, port, failing, patch)
+                how = "fallback"
+                self._counters["fallbacks"] += 1
+            logger.info(
+                "output %s: %s with %d op(s), %d cloned gate(s), "
+                "fixes %s", port, how, len(outcome.committed_ops),
+                len(outcome.new_gates), ", ".join(outcome.fixed))
+            logger.debug("ops: %s",
+                         "; ".join(op.describe()
+                                   for op in outcome.committed_ops))
+            work = outcome.patched
+            patch.record(outcome.committed_ops, outcome.clone_map,
+                         outcome.new_gates)
+            for fixed_port in outcome.fixed:
+                per_output[fixed_port] = (
+                    how if fixed_port == port else "fixed-by-earlier")
+            fixed = set(outcome.fixed)
+            failing = [p for p in failing if p not in fixed]
+
+        refine_patch_inputs(work, patch.cloned_gates,
+                            seed=self.config.seed)
+        if self.config.resynthesis:
+            from repro.eco.resynth import resubstitute_patch
+            resubs, patch_gates = resubstitute_patch(
+                work, patch.cloned_gates, seed=self.config.seed)
+            patch.cloned_gates = patch_gates
+            self._counters["resubstitutions"] = resubs
+
+        verification = check_equivalence(work, spec)
+        if verification.equivalent is not True:
+            raise EcoError(
+                "final verification failed; counterexample: "
+                f"{verification.counterexample}")
+        return RectificationResult(
+            patched=work,
+            patch=patch,
+            verified_outputs=tuple(sorted(work.outputs)),
+            runtime_seconds=time.time() - started,
+            per_output=per_output,
+            counters=dict(self._counters),
+        )
+
+    # ------------------------------------------------------------------
+    def _check_interfaces(self, impl: Circuit, spec: Circuit) -> None:
+        if set(spec.inputs) - set(impl.inputs):
+            raise EcoError("specification reads inputs the implementation "
+                           "does not have")
+        if set(impl.outputs) != set(spec.outputs):
+            raise EcoError("output ports of C and C' must correspond")
+
+    def _order_by_cone(self, impl: Circuit,
+                       ports: Sequence[str]) -> List[str]:
+        """Failing outputs sorted by increasing logical complexity."""
+        sizes = {
+            p: len(transitive_fanin(impl, [impl.outputs[p]]))
+            for p in ports
+        }
+        return sorted(ports, key=lambda p: (sizes[p], p))
+
+    # ------------------------------------------------------------------
+    def _rectify_output(self, work: Circuit, spec: Circuit, port: str,
+                        failing: Sequence[str], patch: Patch,
+                        rng: random.Random) -> Optional["_Commit"]:
+        """Steps 1-5 of the flow for one failing output."""
+        config = self.config
+        samples = self._exact_domain_samples(work, spec, port)
+        exact = samples is not None
+        if samples is None:
+            samples = collect_error_samples(
+                work, spec, port, config.num_samples, rng,
+                error_bias=config.error_bias,
+                diversify=config.sample_diversify)
+        if not samples:
+            return None
+
+        commit = self._search_at_scale(work, spec, port, failing, patch,
+                                       samples)
+        if commit is not None or exact:
+            return commit
+
+        # counterexample-guided refinement: every sampled candidate was
+        # refuted on the full domain; fold the refuting assignments in
+        # and search once more on the sharper domain
+        if config.cegar_refinement and self._cegar_cex:
+            seen = {tuple(sorted(s.items())) for s in samples}
+            refined = list(samples)
+            for cex in self._cegar_cex:
+                key = tuple(sorted(cex.items()))
+                if key not in seen and len(refined) < 64:
+                    seen.add(key)
+                    refined.append(cex)
+            if len(refined) > len(samples):
+                self._counters["cegar_rounds"] = \
+                    self._counters.get("cegar_rounds", 0) + 1
+                return self._search_at_scale(work, spec, port, failing,
+                                             patch, refined)
+        return None
+
+    def _search_at_scale(self, work: Circuit, spec: Circuit, port: str,
+                         failing: Sequence[str], patch: Patch,
+                         samples: List[Dict[str, bool]]
+                         ) -> Optional["_Commit"]:
+        """Run the symbolic search, shrinking the pin set on BDD blowup."""
+        self._cegar_cex: List[Dict[str, bool]] = []
+        max_pins = self.config.max_candidate_pins
+        while max_pins >= 4:
+            try:
+                return self._search_with_domain(
+                    work, spec, port, failing, patch, samples, max_pins)
+            except BddNodeLimitError:
+                max_pins //= 2  # shrink the symbolic problem and retry
+        return None
+
+    def _exact_domain_samples(self, work: Circuit, spec: Circuit,
+                              port: str) -> Optional[List[Dict[str, bool]]]:
+        """Exhaustive domain when the failing cone's support is small.
+
+        Returns None when exact mode is off or the support is too wide;
+        otherwise all assignments of the joint structural support with
+        the remaining inputs tied low — the Section 4 computation in
+        its exact form.
+        """
+        limit = self.config.exact_domain_max_inputs
+        if limit <= 0:
+            return None
+        from repro.netlist.traverse import input_support
+        from repro.eco.sampling import exhaustive_assignments
+        relevant = sorted(
+            input_support(work, work.outputs[port])
+            | input_support(spec, spec.outputs[port]))
+        if len(relevant) > limit:
+            return None
+        fixed = {n: False for n in work.inputs if n not in relevant}
+        return exhaustive_assignments(relevant, fixed=fixed)
+
+    def _search_with_domain(self, work: Circuit, spec: Circuit, port: str,
+                            failing: Sequence[str], patch: Patch,
+                            samples: List[Dict[str, bool]],
+                            max_pins: int) -> Optional["_Commit"]:
+        config = self.config
+        manager = BddManager(node_limit=config.bdd_node_limit)
+        domain = SamplingDomain(manager, samples, inputs=work.inputs)
+        impl_z = domain.cast_circuit(work)
+        spec_z = domain.cast_circuit(spec)
+
+        input_index = {n: i for i, n in enumerate(work.inputs)}
+        impl_supports = support_masks(work, input_index)
+        spec_supports = support_masks(spec, input_index)
+        impl_levels = levelize(work)
+        spec_levels = levelize(spec)
+
+        ctx = RewiringContext(
+            work, spec, port, domain, config, impl_z, spec_z,
+            impl_supports, spec_supports, impl_levels, spec_levels)
+
+        candidate_pins = self._select_candidate_pins(
+            work, spec, port, samples, max_pins)
+        if not candidate_pins:
+            return None
+        spec_value = spec_z[spec.outputs[port]]
+
+        cost_fn = self._make_cost_fn(work, spec, port, impl_levels,
+                                     patch.clone_map)
+        sim_filter = self._make_sim_filter(work, spec, samples)
+
+        best: Optional[_Commit] = None
+        validations = 0
+        max_validations = 6 * config.max_points
+        for m in range(1, config.max_points + 1):
+            point_sets = feasible_point_sets(
+                work, port, domain, candidate_pins, spec_value, m,
+                prime_limit=config.prime_limit,
+                pointset_limit=config.pointset_limit)
+            self._counters["point_sets"] += len(point_sets)
+            for pins in point_sets:
+                cand_lists = [ctx.candidates_for_pin(p) for p in pins]
+                choices = enumerate_rewiring_choices(
+                    work, port, domain, pins, cand_lists, spec_value,
+                    limit=config.choice_limit, cost_fn=cost_fn)
+                self._counters["choices"] += len(choices)
+                # choices are cost-ordered; the simulation screen drops
+                # sampling false positives cheaply, and only the first
+                # few survivors per point-set get a SAT proof
+                sat_tried = 0
+                for choice in choices:
+                    if sat_tried >= 3:
+                        break
+                    ops = [
+                        RewireOp(pin, cand.net, cand.from_spec)
+                        for pin, cand in zip(pins, choice)
+                        if not cand.trivial
+                    ]
+                    if not ops:
+                        continue
+                    if not sim_filter.passes(ops, port, failing):
+                        self._counters["sim_rejects"] += 1
+                        continue
+                    sat_tried += 1
+                    self._counters["sat_validations"] += 1
+                    outcome = validate_rewire(
+                        work, spec, ops, failing, patch.clone_map,
+                        sat_budget=config.sat_budget, target=port)
+                    if not outcome.valid and \
+                            outcome.target_counterexample is not None:
+                        self._cegar_cex.append(
+                            outcome.target_counterexample)
+                    validations += 1
+                    if outcome.valid and port in outcome.fixed:
+                        commit = _Commit.from_outcome(outcome, ops)
+                        if best is None or commit.score > best.score:
+                            best = commit
+                        # a pure rewire (no new logic) cannot be beaten
+                        # on patch size; commit it immediately
+                        if not commit.outcome.new_gates:
+                            return best
+                    if validations >= max_validations:
+                        return best
+            # grow the point-set only while the best patch still clones
+            # a noticeable amount of logic
+            if best is not None and len(best.outcome.new_gates) <= 2 * m:
+                return best
+        return best
+
+    # ------------------------------------------------------------------
+    # joint multi-output rectification
+    # ------------------------------------------------------------------
+    def _joint_group(self, work: Circuit,
+                     failing: Sequence[str]) -> List[str]:
+        """Failing outputs whose cones overlap the head output's cone."""
+        head = failing[0]
+        head_cone = transitive_fanin(work, [work.outputs[head]])
+        head_gates = {n for n in head_cone if n in work.gates}
+        group = [head]
+        for other in failing[1:]:
+            if len(group) >= self.config.joint_outputs:
+                break
+            cone = transitive_fanin(work, [work.outputs[other]])
+            union = len(head_cone | cone)
+            overlap = len(head_cone & cone) / union if union else 0.0
+            shared_gates = head_gates & cone
+            if overlap >= 0.2 or shared_gates:
+                group.append(other)
+        return group
+
+    def _rectify_joint(self, work: Circuit, spec: Circuit,
+                       group: Sequence[str], failing: Sequence[str],
+                       patch: Patch,
+                       rng: random.Random) -> Optional["_Commit"]:
+        """One point-set and rewiring fixing a whole output group."""
+        from repro.eco.choices import enumerate_rewiring_choices_joint
+        from repro.eco.points import feasible_point_sets_joint
+
+        config = self.config
+        per_port = max(2, config.num_samples // len(group))
+        samples: List[Dict[str, bool]] = []
+        seen = set()
+        for p in group:
+            for s in collect_error_samples(work, spec, p, per_port, rng,
+                                           error_bias=config.error_bias):
+                key = tuple(sorted(s.items()))
+                if key not in seen:
+                    seen.add(key)
+                    samples.append(s)
+        if not samples:
+            return None
+        samples = samples[:64]
+
+        try:
+            manager = BddManager(node_limit=config.bdd_node_limit)
+            domain = SamplingDomain(manager, samples, inputs=work.inputs)
+            impl_z = domain.cast_circuit(work)
+            spec_z = domain.cast_circuit(spec)
+            input_index = {n: i for i, n in enumerate(work.inputs)}
+            impl_supports = support_masks(work, input_index)
+            spec_supports = support_masks(spec, input_index)
+            impl_levels = levelize(work)
+            spec_levels = levelize(spec)
+            ctx = RewiringContext(
+                work, spec, group[0], domain, config, impl_z, spec_z,
+                impl_supports, spec_supports, impl_levels, spec_levels,
+                ports=group)
+
+            pins: List[Pin] = []
+            per_port_pins = max(4, config.max_candidate_pins
+                                // len(group))
+            for p in group:
+                for pin in self._select_candidate_pins(
+                        work, spec, p, samples, per_port_pins):
+                    if pin not in pins:
+                        pins.append(pin)
+            spec_values = {p: spec_z[spec.outputs[p]] for p in group}
+            cost_fn = self._make_cost_fn(work, spec, group[0],
+                                         impl_levels, patch.clone_map)
+            sim_filter = self._make_sim_filter(work, spec, samples)
+
+            best: Optional[_Commit] = None
+            validations = 0
+            for m in range(1, config.max_points + 1):
+                point_sets = feasible_point_sets_joint(
+                    work, spec_values, domain, pins, m,
+                    prime_limit=config.prime_limit,
+                    pointset_limit=config.pointset_limit)
+                for point_set in point_sets:
+                    cand_lists = [ctx.candidates_for_pin(p)
+                                  for p in point_set]
+                    choices = enumerate_rewiring_choices_joint(
+                        work, spec_values, domain, point_set, cand_lists,
+                        limit=config.choice_limit, cost_fn=cost_fn)
+                    for choice in choices[:4]:
+                        ops = [RewireOp(pin, cand.net, cand.from_spec)
+                               for pin, cand in zip(point_set, choice)
+                               if not cand.trivial]
+                        if not ops:
+                            continue
+                        if not all(sim_filter.passes(ops, p, failing)
+                                   for p in group):
+                            continue
+                        validations += 1
+                        outcome = validate_rewire(
+                            work, spec, ops, failing, patch.clone_map,
+                            sat_budget=config.sat_budget,
+                            target=group[0])
+                        if outcome.valid and \
+                                set(group) <= set(outcome.fixed):
+                            # economy guard: a joint commit must beat
+                            # what per-output repair would plausibly
+                            # cost — fewer rewires than outputs fixed,
+                            # or no new logic at all; otherwise the
+                            # single-output path with clone reuse wins
+                            economical = (
+                                not outcome.new_gates
+                                or len(ops) < len(outcome.fixed))
+                            if not economical:
+                                continue
+                            commit = _Commit.from_outcome(outcome, ops)
+                            if best is None or commit.score > best.score:
+                                best = commit
+                            if not commit.outcome.new_gates:
+                                self._counters["joint_commits"] = \
+                                    self._counters.get(
+                                        "joint_commits", 0) + 1
+                                return best
+                        if validations >= 6:
+                            if best is not None:
+                                self._counters["joint_commits"] = \
+                                    self._counters.get(
+                                        "joint_commits", 0) + 1
+                            return best
+                if best is not None:
+                    break
+            if best is not None:
+                self._counters["joint_commits"] = \
+                    self._counters.get("joint_commits", 0) + 1
+            return best
+        except BddNodeLimitError:
+            return None  # joint problem too big; single-output path
+
+    # ------------------------------------------------------------------
+    def _make_sim_filter(self, work: Circuit, spec: Circuit,
+                         samples: List[Dict[str, bool]]) -> SimulationFilter:
+        """Error samples plus fresh random words for the cheap screen."""
+        rng = random.Random(self.config.seed ^ 0x53C0)
+        words_list = [patterns_to_words(work.inputs, samples[:64])]
+        for _ in range(2):
+            words_list.append({
+                n: rng.getrandbits(64) for n in work.inputs
+            })
+        return SimulationFilter(work, spec, words_list)
+
+    # ------------------------------------------------------------------
+    def _make_cost_fn(self, work: Circuit, spec: Circuit, port: str,
+                      impl_levels: Dict[str, int],
+                      clone_map: Dict[str, str]):
+        level_term = None
+        if self.config.level_aware:
+            out_level = impl_levels[work.outputs[port]]
+
+            def level_term(pin: Pin, cand: RewireCandidate) -> float:
+                if cand.trivial:
+                    return 0.0
+                pin_level = 0 if pin.is_output_port else \
+                    impl_levels.get(pin.owner, out_level)
+                # penalize sources deeper than the logic they feed
+                return 0.5 * max(0, cand.level - max(pin_level - 1, 0))
+
+        return make_clone_aware_cost(spec, clone_map,
+                                     level_term=level_term)
+
+    # ------------------------------------------------------------------
+    def _select_candidate_pins(self, work: Circuit, spec: Circuit,
+                               port: str, samples: List[Dict[str, bool]],
+                               max_pins: int) -> List[Pin]:
+        """Rank the sink pins of the failing cone as candidate points.
+
+        Nets are scored by *flip credit*: the number of error samples on
+        which complementing the net corrects the output (64-way parallel
+        resimulation).  Pins inherit the score of their driving net;
+        the output port pin is always included (completeness).
+        """
+        out_net = work.outputs[port]
+        cone = transitive_fanin(work, [out_net])
+        cone_order = topological_order(work, roots=[out_net])
+
+        samples = samples[:64]  # one simulation word for the heuristic
+        words = patterns_to_words(work.inputs, samples)
+        n_mask = (1 << len(samples)) - 1
+        base_values = simulate_words(work, words)
+        spec_words = {n: words.get(n, 0) for n in spec.inputs}
+        spec_values = simulate_words(spec, spec_words)
+        error_mask = (base_values[out_net] ^
+                      spec_values[spec.outputs[port]]) & n_mask
+
+        # score only the nets closest to the output when cones are huge
+        scored_nets = [n for n in cone]
+        if len(scored_nets) > 600:
+            lv = levelize(work)
+            scored_nets.sort(key=lambda n: -lv[n])
+            scored_nets = scored_nets[:600]
+        scored_set = set(scored_nets)
+
+        from repro.netlist.gate import eval_gate
+        flip_credit: Dict[str, int] = {}
+        for net in scored_nets:
+            override = {net: base_values[net] ^ WORD_MASK}
+            for gname in cone_order:
+                gate = work.gates[gname]
+                if gname == net:
+                    continue
+                if not any(f in override for f in gate.fanins):
+                    continue
+                operands = [override.get(f, base_values[f])
+                            for f in gate.fanins]
+                value = eval_gate(gate.gtype, operands)
+                if value != base_values[gname]:
+                    override[gname] = value
+            flipped_out = override.get(out_net, base_values[out_net])
+            corrected = (~(flipped_out ^ spec_values[spec.outputs[port]])
+                         & error_mask)
+            flip_credit[net] = bin(corrected & n_mask).count("1")
+
+        # collect gate input pins of the cone, ranked by driver credit
+        pins: List[Tuple[int, int, Pin]] = []
+        levels = levelize(work)
+        for gname in cone:
+            gate = work.gates.get(gname)
+            if gate is None:
+                continue
+            for idx, fanin in enumerate(gate.fanins):
+                credit = flip_credit.get(fanin, 0)
+                if credit <= 0:
+                    continue
+                pins.append((-credit, levels[fanin], Pin.gate(gname, idx)))
+        pins.sort(key=lambda item: (item[0], item[1], item[2]))
+        selected = [p for _, _, p in pins[:max_pins - 1]]
+        selected.append(Pin.output(port))
+        return selected
+
+    # ------------------------------------------------------------------
+    def _fallback(self, work: Circuit, spec: Circuit, port: str,
+                  failing: Sequence[str], patch: Patch) -> "_Commit":
+        """Completeness fallback: drive the output port from a clone of
+        the revised function (always valid by Proposition 1)."""
+        ops = [RewireOp(Pin.output(port), spec.outputs[port],
+                        from_spec=True)]
+        outcome = validate_rewire(work, spec, ops, failing,
+                                  patch.clone_map, sat_budget=None)
+        if not outcome.valid:
+            raise EcoError(
+                f"fallback rectification failed for output {port!r}")
+        return _Commit.from_outcome(outcome, ops)
+
+
+class _Commit:
+    """A validated rewire bundled with its committed operations."""
+
+    def __init__(self, outcome: ValidationOutcome,
+                 committed_ops: List[RewireOp]):
+        self.outcome = outcome
+        self.committed_ops = committed_ops
+        # favor most outputs fixed, then least new logic
+        self.score = (len(outcome.fixed), -len(outcome.new_gates))
+
+    @staticmethod
+    def from_outcome(outcome: ValidationOutcome,
+                     ops: List[RewireOp]) -> "_Commit":
+        return _Commit(outcome, list(ops))
+
+    @property
+    def patched(self) -> Circuit:
+        assert self.outcome.patched is not None
+        return self.outcome.patched
+
+    @property
+    def fixed(self) -> Tuple[str, ...]:
+        return self.outcome.fixed
+
+    @property
+    def clone_map(self) -> Dict[str, str]:
+        return self.outcome.clone_map
+
+    @property
+    def new_gates(self) -> Set[str]:
+        return self.outcome.new_gates
+
+
+def rectify(impl: Circuit, spec: Circuit,
+            config: Optional[EcoConfig] = None) -> RectificationResult:
+    """Convenience one-shot: ``SysEco(config).rectify(impl, spec)``."""
+    return SysEco(config).rectify(impl, spec)

@@ -1,0 +1,53 @@
+"""Human-readable rectification reports."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.netlist.circuit import Circuit
+from repro.eco.patch import RectificationResult
+
+
+def format_patch_report(result: RectificationResult,
+                        impl: Optional[Circuit] = None,
+                        title: str = "rectification report") -> str:
+    """Render one result as the report the CLI and examples print.
+
+    Args:
+        result: a finished rectification.
+        impl: the pre-ECO implementation, for before/after size lines.
+        title: heading line.
+    """
+    stats = result.stats()
+    lines: List[str] = [title, "=" * len(title)]
+    if impl is not None:
+        lines.append(
+            f"implementation : {impl.num_gates} gates -> "
+            f"{result.patched.num_gates} gates")
+    lines.append(f"verified outputs: {len(result.verified_outputs)}")
+    lines.append(
+        f"patch          : inputs={stats.inputs} outputs={stats.outputs} "
+        f"gates={stats.gates} nets={stats.nets}")
+    lines.append(f"runtime        : {result.runtime_seconds:.2f}s")
+
+    if result.per_output:
+        by_method: dict = {}
+        for port, how in sorted(result.per_output.items()):
+            by_method.setdefault(how, []).append(port)
+        for how, ports in sorted(by_method.items()):
+            lines.append(f"{how:<15}: {', '.join(ports)}")
+
+    if result.counters:
+        interesting = {k: v for k, v in sorted(result.counters.items())
+                       if v}
+        if interesting:
+            lines.append("search effort  : " + ", ".join(
+                f"{k}={v}" for k, v in interesting.items()))
+
+    if result.patch.ops:
+        lines.append("rewire operations:")
+        for op in result.patch.ops:
+            lines.append(f"  {op.describe()}")
+    else:
+        lines.append("rewire operations: none (already equivalent)")
+    return "\n".join(lines)

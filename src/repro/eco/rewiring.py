@@ -1,0 +1,162 @@
+"""Candidate rewiring nets: structural filter + utility ranking (Sec. 4.3).
+
+For a rectification point at pin ``q``, candidate rewiring nets are
+drawn from both the current implementation ``C`` and the synthesized
+specification ``C'``.  A net ``s`` passes the *structural filter* when
+the input support of the revised output ``f'`` contains the transitive
+fanin of ``s``, and must not create a combinational cycle when wired to
+``q``.  Candidates are then ranked by the *rectification utility*
+
+    | { x in E : q(x) != s(x) } | / |E|
+
+evaluated on the sampled error domain — the more the candidate differs
+from the current driver across the errors, the likelier it flips them.
+The net currently driving the pin is always included as the *trivial*
+candidate (utility 0, first preference) so an over-approximated
+point-set size collapses gracefully (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set
+
+from repro.bdd.manager import FALSE
+from repro.netlist.circuit import Circuit, Pin
+from repro.netlist.traverse import transitive_fanout
+from repro.eco.config import EcoConfig
+from repro.eco.sampling import SamplingDomain
+
+
+@dataclass(frozen=True)
+class RewireCandidate:
+    """One candidate rewiring net for a rectification point."""
+
+    net: str
+    from_spec: bool
+    utility: float
+    #: function of the net in the sampling domain (BDD node over z)
+    z_function: int
+    #: logic level of the net in its home circuit (level-aware scoring)
+    level: int = 0
+    trivial: bool = False
+
+
+class RewiringContext:
+    """Per-failing-output state shared across rectification points.
+
+    Precomputes, once per output: the sampled error region ``E``,
+    sampling-domain functions of every net of ``C`` and ``C'``, support
+    masks, and the spec-side support of the failing output.
+    """
+
+    def __init__(self, impl: Circuit, spec: Circuit, port: str,
+                 domain: SamplingDomain, config: EcoConfig,
+                 impl_z: Mapping[str, int], spec_z: Mapping[str, int],
+                 impl_supports: Mapping[str, int],
+                 spec_supports: Mapping[str, int],
+                 impl_levels: Mapping[str, int],
+                 spec_levels: Mapping[str, int],
+                 ports: Optional[Sequence[str]] = None):
+        self.impl = impl
+        self.spec = spec
+        self.port = port
+        self.ports = list(ports) if ports else [port]
+        self.domain = domain
+        self.config = config
+        self.impl_z = impl_z
+        self.spec_z = spec_z
+        self.impl_supports = impl_supports
+        self.spec_supports = spec_supports
+        self.impl_levels = impl_levels
+        self.spec_levels = spec_levels
+
+        # joint context: the error region is the union of the per-port
+        # differences and the structural filter uses the union support
+        manager = domain.manager
+        self.spec_out_net = spec.outputs[port]
+        self.spec_support_mask = 0
+        diff = 0  # FALSE
+        for p in self.ports:
+            snet = spec.outputs[p]
+            self.spec_support_mask |= spec_supports[snet]
+            diff = manager.or_(diff, manager.xor(
+                impl_z[impl.outputs[p]], spec_z[snet]))
+        self.error_region = manager.and_(diff, domain.valid_codes())
+        self.error_count = max(1, domain.count_in_domain(diff))
+
+    def utility(self, driver_z: int, candidate_z: int) -> float:
+        """The Section 4.3 ratio on the sampled error domain."""
+        manager = self.domain.manager
+        differs = manager.xor(driver_z, candidate_z)
+        hits = manager.satcount(
+            manager.and_(differs, self.error_region),
+            num_vars=max(self.domain.z_vars) + 1)
+        return hits / self.error_count
+
+    def candidates_for_pin(self, pin: Pin,
+                           forbidden: Optional[Set[str]] = None
+                           ) -> List[RewireCandidate]:
+        """Ordered candidate rewiring nets for one rectification point.
+
+        ``forbidden`` removes implementation nets that other pins of the
+        same point-set make unusable (cycle interactions).
+        """
+        config = self.config
+        manager = self.domain.manager
+        driver = self.impl.pin_driver(pin)
+        driver_z = self.impl_z[driver]
+
+        # nets whose fanout cone includes the pin's gate would cycle
+        if pin.is_output_port:
+            unreachable: Set[str] = set()
+        else:
+            unreachable = transitive_fanout(self.impl, [pin.owner])
+
+        scored: List[RewireCandidate] = []
+        if config.use_impl_nets:
+            for net in self.impl.nets():
+                if net == driver or net in unreachable:
+                    continue
+                if forbidden and net in forbidden:
+                    continue
+                if self.impl_supports[net] & ~self.spec_support_mask:
+                    continue  # structural filter
+                scored.append(RewireCandidate(
+                    net=net, from_spec=False,
+                    utility=self.utility(driver_z, self.impl_z[net]),
+                    z_function=self.impl_z[net],
+                    level=self.impl_levels[net]))
+        if config.use_spec_nets:
+            for net in self.spec.gates:
+                if self.spec_supports[net] & ~self.spec_support_mask:
+                    continue
+                scored.append(RewireCandidate(
+                    net=net, from_spec=True,
+                    utility=self.utility(driver_z, self.spec_z[net]),
+                    z_function=self.spec_z[net],
+                    level=self.spec_levels[net]))
+
+        if config.utility_ordering:
+            scored.sort(key=lambda c: (-c.utility, c.from_spec, c.level))
+        else:
+            scored.sort(key=lambda c: (c.from_spec, c.net))
+        kept = scored[:config.max_rewire_candidates]
+
+        # guarantee completeness for output-port pins: the revised
+        # function itself must be reachable as a candidate
+        if pin.is_output_port and config.use_spec_nets:
+            if not any(c.from_spec and c.net == self.spec_out_net
+                       for c in kept):
+                kept.append(RewireCandidate(
+                    net=self.spec_out_net, from_spec=True,
+                    utility=self.utility(driver_z,
+                                         self.spec_z[self.spec_out_net]),
+                    z_function=self.spec_z[self.spec_out_net],
+                    level=self.spec_levels[self.spec_out_net]))
+
+        trivial = RewireCandidate(
+            net=driver, from_spec=False, utility=0.0,
+            z_function=driver_z,
+            level=self.impl_levels[driver], trivial=True)
+        return [trivial] + kept

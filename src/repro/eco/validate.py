@@ -1,0 +1,299 @@
+"""Full-domain validation of sampled rewire candidates (Section 5.2).
+
+Reasoning in the sampling domain over-approximates, so every rewire
+choice is re-checked exactly before it is committed: the operation is
+applied to a scratch copy of the implementation and the affected
+outputs are compared against the specification with a resource-
+constrained SAT solver.  The check is *global*: a candidate is rejected
+when it damages any currently-correct output, and the number of failing
+outputs it fixes is reported so the engine can favor multi-output
+repairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.netlist.circuit import Circuit, Pin
+from repro.netlist.gate import eval_gate
+from repro.netlist.simulate import simulate_words
+from repro.netlist.traverse import (
+    dependent_outputs,
+    topological_order,
+    transitive_fanin,
+    transitive_fanout,
+)
+from repro.cec.equivalence import PairwiseChecker
+from repro.eco.patch import RewireOp
+
+CLONE_PREFIX = "eco$"
+
+
+def topological_constraint_ok(impl: Circuit, pins: Sequence[Pin]) -> bool:
+    """The Section 3.3 restriction: no path connects any pair of pins."""
+    gate_pins = [p for p in pins if not p.is_output_port]
+    owners = {p.owner for p in gate_pins}
+    for pin in gate_pins:
+        downstream = transitive_fanout(impl, [pin.owner])
+        downstream.discard(pin.owner)
+        if downstream & owners:
+            return False
+    return True
+
+
+def rewire_acyclic(impl: Circuit, ops: Sequence[RewireOp]) -> bool:
+    """No implementation-sourced rewire may close a combinational cycle.
+
+    Checked jointly: with several simultaneous rewires a cycle can pass
+    through more than one new edge, so the test walks the fanout
+    relation augmented with all proposed edges at once.
+    """
+    extra_edges: Dict[str, Set[str]] = {}
+    for op in ops:
+        if op.from_spec or op.pin.is_output_port:
+            continue
+        extra_edges.setdefault(op.source_net, set()).add(op.pin.owner)
+
+    if not extra_edges:
+        return True
+
+    fanout: Dict[str, List[str]] = {}
+    for g in impl.gates.values():
+        for i, f in enumerate(g.fanins):
+            # skip edges that the rewires remove
+            if any(op.pin == Pin.gate(g.name, i) for op in ops):
+                continue
+            fanout.setdefault(f, []).append(g.name)
+    for src, dsts in extra_edges.items():
+        fanout.setdefault(src, []).extend(dsts)
+
+    # cycle check via DFS from the new edges' sources
+    state: Dict[str, int] = {}
+
+    def dfs(net: str) -> bool:
+        stack = [(net, iter(fanout.get(net, ())))]
+        state[net] = 0
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                st = state.get(nxt)
+                if st == 0:
+                    return False  # back edge: cycle
+                if st is None:
+                    state[nxt] = 0
+                    stack.append((nxt, iter(fanout.get(nxt, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                state[node] = 1
+                stack.pop()
+        return True
+
+    for src in extra_edges:
+        if state.get(src) is None:
+            if not dfs(src):
+                return False
+    return True
+
+
+def clone_spec_cone(work: Circuit, spec: Circuit, net: str,
+                    clone_map: Dict[str, str]) -> str:
+    """Instantiate the cone of a specification net inside ``work``.
+
+    Primary inputs are shared by name; previously cloned gates (tracked
+    in ``clone_map``) are reused, so overlapping cones from successive
+    rewires share logic.  Returns the name of the clone of ``net``.
+    """
+    if net in spec.inputs:
+        return net
+    if net in clone_map:
+        return clone_map[net]
+    for gname in topological_order(spec, roots=[net]):
+        if gname in clone_map:
+            continue
+        gate = spec.gates[gname]
+        fanins = [
+            f if f in spec.inputs else clone_map[f] for f in gate.fanins
+        ]
+        clone_name = f"{CLONE_PREFIX}{gname}"
+        while work.has_net(clone_name):
+            clone_name += "_"
+        work.add_gate(clone_name, gate.gtype, fanins)
+        clone_map[gname] = clone_name
+    return clone_map[net]
+
+
+def apply_rewires(work: Circuit, spec: Circuit, ops: Sequence[RewireOp],
+                  clone_map: Dict[str, str]) -> Set[str]:
+    """Apply rewire operations in place; returns newly cloned gate names.
+
+    ``clone_map`` persists across calls so later rewires reuse earlier
+    clones.
+    """
+    before = set(clone_map.values())
+    for op in ops:
+        if op.from_spec:
+            source = clone_spec_cone(work, spec, op.source_net, clone_map)
+        else:
+            source = op.source_net
+        work.rewire_pin(op.pin, source)
+    return set(clone_map.values()) - before
+
+
+class SimulationFilter:
+    """Cheap full-pattern screen applied before SAT validation.
+
+    Sampling-domain reasoning over-approximates, so many rewiring
+    choices are false positives.  Before paying for a SAT proof, the
+    candidate is re-simulated on a few 64-pattern words (the error
+    samples plus fresh random words): any output mismatch on any
+    pattern disqualifies it immediately.  Passing the screen is
+    necessary but not sufficient — SAT still gives the final word.
+    """
+
+    def __init__(self, impl: Circuit, spec: Circuit,
+                 words_list: Sequence[Dict[str, int]]):
+        self.impl = impl
+        self.spec = spec
+        self.order = topological_order(impl)
+        self.words_list = list(words_list)
+        self.base_values = [simulate_words(impl, w, self.order)
+                            for w in self.words_list]
+        spec_order = topological_order(spec)
+        self.spec_values = []
+        for w in self.words_list:
+            sw = {n: w.get(n, 0) for n in spec.inputs}
+            self.spec_values.append(simulate_words(spec, sw, spec_order))
+
+    def passes(self, ops: Sequence[RewireOp], target: str,
+               failing: Sequence[str]) -> bool:
+        """Screen one candidate rewire.
+
+        Requires the target output and every currently-passing output to
+        match the spec on every simulated pattern; other failing outputs
+        may remain wrong (SAT validation later reports which of them the
+        rewire happens to fix).
+        """
+        failing_set = set(failing) - {target}
+
+        op_map: Dict[Pin, RewireOp] = {op.pin: op for op in ops}
+        impl, spec = self.impl, self.spec
+        for base, spec_vals in zip(self.base_values, self.spec_values):
+            updated: Dict[str, int] = {}
+
+            def value(net: str) -> int:
+                return updated.get(net, base[net])
+
+            def source_value(op: RewireOp) -> int:
+                if op.from_spec:
+                    return spec_vals[op.source_net]
+                return value(op.source_net)
+
+            for gname in self.order:
+                gate = impl.gates[gname]
+                touched = False
+                operands = []
+                for idx, fanin in enumerate(gate.fanins):
+                    op = op_map.get(Pin.gate(gname, idx))
+                    if op is not None:
+                        operands.append(source_value(op))
+                        touched = True
+                    else:
+                        v = value(fanin)
+                        if fanin in updated:
+                            touched = True
+                        operands.append(v)
+                if touched:
+                    new = eval_gate(gate.gtype, operands)
+                    if new != base[gname]:
+                        updated[gname] = new
+            for port, net in impl.outputs.items():
+                if port in failing_set:
+                    continue
+                op = op_map.get(Pin.output(port))
+                got = source_value(op) if op is not None else value(net)
+                if got != spec_vals[spec.outputs[port]]:
+                    return False
+        return True
+
+
+@dataclass
+class ValidationOutcome:
+    """Result of one full-domain validation."""
+
+    valid: bool
+    #: previously-failing ports this rewire provably fixes
+    fixed: Tuple[str, ...] = ()
+    #: ports whose check exhausted the SAT budget (treated as not fixed)
+    unknown: Tuple[str, ...] = ()
+    #: the patched scratch circuit (only when valid)
+    patched: Optional[Circuit] = None
+    clone_map: Dict[str, str] = field(default_factory=dict)
+    new_gates: Set[str] = field(default_factory=set)
+    #: input assignment refuting the target output, when the check
+    #: found one (feeds counterexample-guided domain refinement)
+    target_counterexample: Optional[Dict[str, bool]] = None
+
+
+def validate_rewire(impl: Circuit, spec: Circuit, ops: Sequence[RewireOp],
+                    failing: Sequence[str], clone_map: Dict[str, str],
+                    sat_budget: Optional[int] = None,
+                    target: Optional[str] = None) -> ValidationOutcome:
+    """Exact check of a candidate rewire on the full input domain.
+
+    A candidate is valid when every output it touches is either proven
+    equivalent to the spec or was already failing (it may leave other
+    failing outputs broken, but must never damage a passing one).
+    """
+    if not topological_constraint_ok(impl, [op.pin for op in ops]):
+        return ValidationOutcome(valid=False)
+    if not rewire_acyclic(impl, ops):
+        return ValidationOutcome(valid=False)
+
+    work = impl.copy()
+    local_clone_map = dict(clone_map)
+    new_gates = apply_rewires(work, spec, ops, local_clone_map)
+
+    changed_nets = set()
+    for op in ops:
+        if op.pin.is_output_port:
+            changed_nets.add(work.outputs[op.pin.owner])
+        else:
+            changed_nets.add(op.pin.owner)
+    affected = set(dependent_outputs(work, changed_nets))
+    for op in ops:
+        if op.pin.is_output_port:
+            affected.add(op.pin.owner)
+
+    failing_set = set(failing)
+    checker = PairwiseChecker(work, spec)
+    fixed: List[str] = []
+    unknown: List[str] = []
+    target_cex: Optional[Dict[str, bool]] = None
+    for port in sorted(affected):
+        result = checker.check_pair(port, conflict_budget=sat_budget)
+        if result.equivalent is True:
+            if port in failing_set:
+                fixed.append(port)
+        elif result.equivalent is False:
+            if port == target:
+                target_cex = result.counterexample
+            if port not in failing_set:
+                # damaged a good output
+                return ValidationOutcome(valid=False,
+                                         target_counterexample=target_cex)
+        else:
+            unknown.append(port)
+            if port not in failing_set:
+                # cannot prove we kept a passing output intact: reject
+                return ValidationOutcome(valid=False,
+                                         target_counterexample=target_cex)
+    if not fixed:
+        return ValidationOutcome(valid=False,
+                                 target_counterexample=target_cex)
+    return ValidationOutcome(valid=True, fixed=tuple(fixed),
+                             unknown=tuple(unknown), patched=work,
+                             clone_map=local_clone_map,
+                             new_gates=new_gates)

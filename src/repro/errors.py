@@ -1,0 +1,54 @@
+"""Exception hierarchy shared across the repro packages.
+
+Every error raised by the library derives from :class:`ReproError` so
+that callers can catch library failures without masking programming
+errors (``TypeError``, ``KeyError``, ...) in their own code.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class NetlistError(ReproError):
+    """Structural problem in a circuit: dangling pin, cycle, bad name."""
+
+
+class ParseError(ReproError):
+    """Malformed input file (BLIF / Verilog)."""
+
+    def __init__(self, message: str, filename: str = "<string>", line: int = 0):
+        super().__init__(f"{filename}:{line}: {message}")
+        self.filename = filename
+        self.line = line
+
+
+class BddError(ReproError):
+    """BDD manager misuse or resource exhaustion."""
+
+
+class BddNodeLimitError(BddError):
+    """The manager exceeded its configured node limit."""
+
+
+class SatError(ReproError):
+    """SAT solver misuse (bad literal, solving a released solver, ...)."""
+
+
+class ResourceBudgetExceeded(ReproError):
+    """A resource-constrained computation ran out of its budget.
+
+    Used by the SAT validation step of the ECO flow (the paper's
+    'resource-constrained SAT solver') and by BDD node limits during
+    symbolic computation.
+    """
+
+
+class EcoError(ReproError):
+    """The ECO engine could not produce a valid patch."""
+
+
+class RectificationInfeasible(EcoError):
+    """No rewire operation rectifies the requested output."""

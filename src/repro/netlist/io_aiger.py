@@ -1,0 +1,245 @@
+"""ASCII AIGER (``aag``) reader / writer.
+
+AIGER is the interchange format of the model-checking and logic-
+synthesis communities (and of the ECO literature's academic branch).
+The combinational subset is supported: header ``aag M I L O A`` with
+``L = 0``, one even literal per input, one literal per output, ``A``
+and-gate rows ``lhs rhs0 rhs1``, and the optional symbol table.
+
+Writing converts the gate vocabulary into an and-inverter structure
+(OR/NAND/NOR via De Morgan, XOR/XNOR/MUX via three ANDs); reading
+produces AND/NOT gates.  Round-tripping preserves functions and port
+names, not gate structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate import GateType
+from repro.netlist.traverse import topological_order
+
+_FALSE_LIT = 0
+_TRUE_LIT = 1
+
+
+class _AigBuilder:
+    """Builds an and-inverter structure with structural hashing."""
+
+    def __init__(self, num_inputs: int):
+        self.next_var = num_inputs + 1
+        self.ands: List[Tuple[int, int, int]] = []
+        self._cache: Dict[Tuple[int, int], int] = {}
+
+    def and_(self, a: int, b: int) -> int:
+        if a == _FALSE_LIT or b == _FALSE_LIT or a == (b ^ 1):
+            return _FALSE_LIT
+        if a == _TRUE_LIT:
+            return b
+        if b == _TRUE_LIT or a == b:
+            return a
+        key = (min(a, b), max(a, b))
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        lhs = 2 * self.next_var
+        self.next_var += 1
+        self.ands.append((lhs, key[0], key[1]))
+        self._cache[key] = lhs
+        return lhs
+
+    def or_(self, a: int, b: int) -> int:
+        return self.and_(a ^ 1, b ^ 1) ^ 1
+
+    def xor(self, a: int, b: int) -> int:
+        return self.or_(self.and_(a, b ^ 1), self.and_(a ^ 1, b))
+
+    def mux(self, s: int, d0: int, d1: int) -> int:
+        return self.or_(self.and_(s, d1), self.and_(s ^ 1, d0))
+
+
+def dumps_aiger(circuit: Circuit) -> str:
+    """Serialize a circuit to ASCII AIGER text."""
+    builder = _AigBuilder(len(circuit.inputs))
+    lits: Dict[str, int] = {}
+    for i, name in enumerate(circuit.inputs):
+        lits[name] = 2 * (i + 1)
+
+    for gname in topological_order(circuit):
+        gate = circuit.gates[gname]
+        ops = [lits[f] for f in gate.fanins]
+        t = gate.gtype
+        if t is GateType.CONST0:
+            lit = _FALSE_LIT
+        elif t is GateType.CONST1:
+            lit = _TRUE_LIT
+        elif t is GateType.BUF:
+            lit = ops[0]
+        elif t is GateType.NOT:
+            lit = ops[0] ^ 1
+        elif t in (GateType.AND, GateType.NAND):
+            acc = _TRUE_LIT
+            for o in ops:
+                acc = builder.and_(acc, o)
+            lit = acc ^ 1 if t is GateType.NAND else acc
+        elif t in (GateType.OR, GateType.NOR):
+            acc = _FALSE_LIT
+            for o in ops:
+                acc = builder.or_(acc, o)
+            lit = acc ^ 1 if t is GateType.NOR else acc
+        elif t in (GateType.XOR, GateType.XNOR):
+            acc = ops[0]
+            for o in ops[1:]:
+                acc = builder.xor(acc, o)
+            lit = acc ^ 1 if t is GateType.XNOR else acc
+        else:  # MUX
+            lit = builder.mux(*ops)
+        lits[gname] = lit
+
+    outputs = [(port, lits[net]) for port, net in circuit.outputs.items()]
+    max_var = builder.next_var - 1
+    lines = [f"aag {max_var} {len(circuit.inputs)} 0 "
+             f"{len(outputs)} {len(builder.ands)}"]
+    for i in range(len(circuit.inputs)):
+        lines.append(str(2 * (i + 1)))
+    for _, lit in outputs:
+        lines.append(str(lit))
+    for lhs, rhs0, rhs1 in builder.ands:
+        lines.append(f"{lhs} {rhs0} {rhs1}")
+    for i, name in enumerate(circuit.inputs):
+        lines.append(f"i{i} {name}")
+    for i, (port, _) in enumerate(outputs):
+        lines.append(f"o{i} {port}")
+    lines.append("c")
+    lines.append(f"written by repro from circuit {circuit.name}")
+    return "\n".join(lines) + "\n"
+
+
+def loads_aiger(text: str, filename: str = "<string>") -> Circuit:
+    """Parse ASCII AIGER text into a :class:`Circuit`."""
+    lines = text.splitlines()
+    if not lines or not lines[0].startswith("aag "):
+        raise ParseError("missing 'aag' header", filename, 1)
+    parts = lines[0].split()
+    if len(parts) != 6 or any(not p.isdigit() for p in parts[1:]):
+        raise ParseError("malformed header", filename, 1)
+    max_var, n_in, n_latch, n_out, n_and = (int(p) for p in parts[1:])
+    if n_latch:
+        raise ParseError("latches are not supported (combinational "
+                         "subset only)", filename, 1)
+
+    expected = n_in + n_out + n_and
+    body = lines[1:1 + expected]
+    if len(body) < expected:
+        raise ParseError("truncated body", filename, len(lines))
+
+    input_lits = []
+    for i in range(n_in):
+        lit = _parse_lit(body[i], filename, 2 + i)
+        if lit % 2 or lit == 0:
+            raise ParseError(f"input literal {lit} must be even and "
+                             "positive", filename, 2 + i)
+        input_lits.append(lit)
+    output_lits = [_parse_lit(body[n_in + i], filename, 2 + n_in + i)
+                   for i in range(n_out)]
+    and_rows: List[Tuple[int, int, int]] = []
+    for i in range(n_and):
+        row = body[n_in + n_out + i].split()
+        if len(row) != 3 or any(not t.isdigit() for t in row):
+            raise ParseError("malformed and row", filename,
+                             2 + n_in + n_out + i)
+        lhs, rhs0, rhs1 = (int(t) for t in row)
+        if lhs % 2:
+            raise ParseError(f"and output literal {lhs} must be even",
+                             filename, 2 + n_in + n_out + i)
+        and_rows.append((lhs, rhs0, rhs1))
+
+    # symbol table
+    input_names = {i: f"x{i}" for i in range(n_in)}
+    output_names = {i: f"y{i}" for i in range(n_out)}
+    for raw in lines[1 + expected:]:
+        raw = raw.strip()
+        if not raw or raw == "c":
+            break
+        kind, idx_name = raw[0], raw[1:]
+        try:
+            idx_str, name = idx_name.split(None, 1)
+            idx = int(idx_str)
+        except ValueError:
+            continue
+        if kind == "i" and idx in input_names:
+            input_names[idx] = name
+        elif kind == "o" and idx in output_names:
+            output_names[idx] = name
+
+    circuit = Circuit("aig")
+    lit_net: Dict[int, str] = {}
+    for i, lit in enumerate(input_lits):
+        lit_net[lit] = circuit.add_input(input_names[i])
+
+    def net_of(lit: int, line: int) -> str:
+        if lit == _FALSE_LIT:
+            if not circuit.has_net("aig$const0"):
+                circuit.const0("aig$const0")
+            return "aig$const0"
+        if lit == _TRUE_LIT:
+            if not circuit.has_net("aig$const1"):
+                circuit.const1("aig$const1")
+            return "aig$const1"
+        if lit in lit_net:
+            return lit_net[lit]
+        if lit % 2:  # complemented: build an inverter over the base
+            base = net_of(lit ^ 1, line)
+            name = f"aig$n{lit}"
+            circuit.add_gate(name, GateType.NOT, [base])
+            lit_net[lit] = name
+            return name
+        raise ParseError(f"literal {lit} is not defined", filename, line)
+
+    # rows may be out of order; resolve by repeated passes
+    remaining = list(and_rows)
+    while remaining:
+        progress = False
+        deferred = []
+        for lhs, rhs0, rhs1 in remaining:
+            bases_ready = all(
+                (r | 1) == 1 or (r & ~1) in lit_net
+                for r in (rhs0, rhs1))
+            if not bases_ready:
+                deferred.append((lhs, rhs0, rhs1))
+                continue
+            name = f"aig$a{lhs}"
+            circuit.add_gate(name, GateType.AND,
+                             [net_of(rhs0, 0), net_of(rhs1, 0)])
+            lit_net[lhs] = name
+            progress = True
+        if not progress:
+            raise ParseError("cyclic or dangling and rows", filename, 0)
+        remaining = deferred
+
+    for i, lit in enumerate(output_lits):
+        port = output_names[i]
+        circuit.set_output(port, net_of(lit, 0))
+    return circuit
+
+
+def _parse_lit(line: str, filename: str, lineno: int) -> int:
+    token = line.strip()
+    if not token.isdigit():
+        raise ParseError(f"expected a literal, got {token!r}",
+                         filename, lineno)
+    return int(token)
+
+
+def read_aiger(path: str) -> Circuit:
+    """Read an ASCII AIGER file from disk."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return loads_aiger(fh.read(), filename=path)
+
+
+def write_aiger(circuit: Circuit, path: str) -> None:
+    """Write a circuit to an ASCII AIGER file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dumps_aiger(circuit))

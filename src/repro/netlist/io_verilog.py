@@ -1,0 +1,273 @@
+"""Structural Verilog reader and writer.
+
+The writer emits a flat gate-level module using Verilog primitive
+instantiations (``and``, ``or``, ``not``, ...) plus ``assign`` for
+buffers, constants and muxes.  Identifiers are escaped when they are
+not plain Verilog names.
+
+The reader accepts the same structural subset (one flat module,
+primitive instantiations, ``assign`` with constants / identifiers /
+``~a`` / 2-operand ``& | ^`` / ternary muxes), which covers everything
+the writer produces plus hand-written gate-level files of that shape.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate import GateType
+from repro.netlist.traverse import topological_order
+
+_PLAIN = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
+
+_PRIMITIVES = {
+    GateType.AND: "and",
+    GateType.OR: "or",
+    GateType.NAND: "nand",
+    GateType.NOR: "nor",
+    GateType.XOR: "xor",
+    GateType.XNOR: "xnor",
+    GateType.NOT: "not",
+    GateType.BUF: "buf",
+}
+
+
+def _vname(name: str) -> str:
+    """Escape an identifier when it is not a plain Verilog name."""
+    if _PLAIN.match(name):
+        return name
+    return "\\" + name + " "
+
+
+def dumps_verilog(circuit: Circuit) -> str:
+    """Serialize a circuit to structural Verilog text."""
+    ports = [_vname(n) for n in circuit.inputs] + [
+        _vname(p) for p in circuit.outputs
+    ]
+    lines: List[str] = [f"module {_vname(circuit.name)} ({', '.join(ports)});"]
+    for n in circuit.inputs:
+        lines.append(f"  input {_vname(n)};")
+    for p in circuit.outputs:
+        lines.append(f"  output {_vname(p)};")
+    for g in circuit.gates:
+        lines.append(f"  wire {_vname(g)};")
+    for idx, name in enumerate(topological_order(circuit)):
+        gate = circuit.gates[name]
+        out = _vname(name)
+        ins = [_vname(f) for f in gate.fanins]
+        if gate.gtype is GateType.CONST0:
+            lines.append(f"  assign {out} = 1'b0;")
+        elif gate.gtype is GateType.CONST1:
+            lines.append(f"  assign {out} = 1'b1;")
+        elif gate.gtype is GateType.MUX:
+            s, d0, d1 = ins
+            lines.append(f"  assign {out} = {s} ? {d1} : {d0};")
+        else:
+            prim = _PRIMITIVES[gate.gtype]
+            lines.append(f"  {prim} g{idx} ({out}, {', '.join(ins)});")
+    for port, net in circuit.outputs.items():
+        if port != net:
+            lines.append(f"  assign {_vname(port)} = {_vname(net)};")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def write_verilog(circuit: Circuit, path: str) -> None:
+    """Write a circuit to a Verilog file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dumps_verilog(circuit))
+
+
+# ----------------------------------------------------------------------
+# reader
+# ----------------------------------------------------------------------
+
+_PRIMITIVE_TYPES = {v: k for k, v in _PRIMITIVES.items()}
+
+_TOKEN = re.compile(
+    r"\\[^ \t\n]+[ \t\n]"      # escaped identifier (incl. trailing space)
+    r"|[A-Za-z_][A-Za-z0-9_$]*"
+    r"|1'b[01]"
+    r"|[(),;?:~&|^=]"
+)
+
+
+def _tokenize_verilog(text: str, filename: str) -> List[str]:
+    # strip comments
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+    tokens = []
+    pos = 0
+    for match in _TOKEN.finditer(text):
+        between = text[pos:match.start()]
+        if between.strip():
+            raise ParseError(f"unexpected text {between.strip()[:20]!r}",
+                             filename)
+        tok = match.group(0)
+        if tok.startswith("\\"):
+            tok = tok[1:].rstrip()
+        tokens.append(tok)
+        pos = match.end()
+    if text[pos:].strip():
+        raise ParseError(f"unexpected trailing text "
+                         f"{text[pos:].strip()[:20]!r}", filename)
+    return tokens
+
+
+class _VerilogParser:
+    """Recursive-descent parser for the structural subset."""
+
+    def __init__(self, tokens: List[str], filename: str):
+        self.tokens = tokens
+        self.pos = 0
+        self.filename = filename
+
+    def error(self, message: str) -> ParseError:
+        near = " ".join(self.tokens[self.pos:self.pos + 4])
+        return ParseError(f"{message} (near {near!r})", self.filename)
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self, expected: Optional[str] = None) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise self.error("unexpected end of file")
+        if expected is not None and tok != expected:
+            raise self.error(f"expected {expected!r}, got {tok!r}")
+        self.pos += 1
+        return tok
+
+    def take_until(self, stop: str) -> List[str]:
+        out = []
+        while self.peek() != stop:
+            if self.peek() is None:
+                raise self.error(f"missing {stop!r}")
+            out.append(self.take())
+        self.take(stop)
+        return out
+
+    # ------------------------------------------------------------------
+    def parse(self) -> Circuit:
+        self.take("module")
+        name = self.take()
+        circuit = Circuit(name)
+        if self.peek() == "(":
+            self.take("(")
+            self.take_until(")")
+        self.take(";")
+
+        inputs: List[str] = []
+        outputs: List[str] = []
+        # statement -> (output net, gate type, operand names) deferred
+        # until all declarations and statements are read so the file
+        # does not need to be topologically ordered
+        pending: List[Tuple[str, GateType, List[str]]] = []
+        assigns: List[Tuple[str, List[str]]] = []
+
+        while self.peek() != "endmodule":
+            tok = self.take()
+            if tok in ("input", "output", "wire"):
+                names = self._name_list()
+                if tok == "input":
+                    inputs.extend(names)
+                elif tok == "output":
+                    outputs.extend(names)
+            elif tok in _PRIMITIVE_TYPES:
+                gtype = _PRIMITIVE_TYPES[tok]
+                self.take()  # instance name
+                self.take("(")
+                operands = [t for t in self.take_until(")") if t != ","]
+                self.take(";")
+                if len(operands) < 2:
+                    raise self.error("primitive needs output and input")
+                pending.append((operands[0], gtype, operands[1:]))
+            elif tok == "assign":
+                target = self.take()
+                self.take("=")
+                expr = self.take_until(";")
+                assigns.append((target, expr))
+            else:
+                raise self.error(f"unsupported construct {tok!r}")
+        self.take("endmodule")
+
+        for n in inputs:
+            circuit.add_input(n)
+
+        # convert assigns into gate records
+        for target, expr in assigns:
+            pending.append(self._assign_to_gate(target, expr))
+
+        self._emit(circuit, pending, outputs)
+        return circuit
+
+    def _name_list(self) -> List[str]:
+        names = [t for t in self.take_until(";") if t != ","]
+        if not names:
+            raise self.error("empty declaration")
+        return names
+
+    def _assign_to_gate(self, target: str,
+                        expr: List[str]) -> Tuple[str, GateType, List[str]]:
+        if len(expr) == 1:
+            tok = expr[0]
+            if tok == "1'b0":
+                return (target, GateType.CONST0, [])
+            if tok == "1'b1":
+                return (target, GateType.CONST1, [])
+            return (target, GateType.BUF, [tok])
+        if len(expr) == 2 and expr[0] == "~":
+            return (target, GateType.NOT, [expr[1]])
+        if len(expr) == 3 and expr[1] in ("&", "|", "^"):
+            op = {"&": GateType.AND, "|": GateType.OR,
+                  "^": GateType.XOR}[expr[1]]
+            return (target, op, [expr[0], expr[2]])
+        if len(expr) == 5 and expr[1] == "?" and expr[3] == ":":
+            # s ? d1 : d0  -> MUX(s, d0, d1)
+            return (target, GateType.MUX, [expr[0], expr[4], expr[2]])
+        raise self.error(f"unsupported assign expression {expr!r}")
+
+    def _emit(self, circuit: Circuit,
+              pending: List[Tuple[str, GateType, List[str]]],
+              outputs: List[str]) -> None:
+        by_output: Dict[str, Tuple[str, GateType, List[str]]] = {}
+        for rec in pending:
+            if rec[0] in by_output:
+                raise self.error(f"net {rec[0]!r} driven twice")
+            by_output[rec[0]] = rec
+        emitted = set(circuit.inputs)
+
+        def emit(name: str, chain: Tuple[str, ...]) -> None:
+            if name in emitted:
+                return
+            if name in chain:
+                raise self.error(f"combinational cycle through {name!r}")
+            rec = by_output.get(name)
+            if rec is None:
+                raise self.error(f"undriven net {name!r}")
+            for f in rec[2]:
+                emit(f, chain + (name,))
+            circuit.add_gate(rec[0], rec[1], rec[2])
+            emitted.add(name)
+
+        for rec in pending:
+            emit(rec[0], ())
+        for port in outputs:
+            if not circuit.has_net(port):
+                raise self.error(f"undriven output {port!r}")
+            circuit.set_output(port, port)
+
+
+def loads_verilog(text: str, filename: str = "<string>") -> Circuit:
+    """Parse structural Verilog text into a :class:`Circuit`."""
+    return _VerilogParser(_tokenize_verilog(text, filename),
+                          filename).parse()
+
+
+def read_verilog(path: str) -> Circuit:
+    """Read a structural Verilog file from disk."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return loads_verilog(fh.read(), filename=path)

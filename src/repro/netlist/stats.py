@@ -1,0 +1,35 @@
+"""Circuit statistics mirroring the columns of Table 1."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netlist.circuit import Circuit
+
+
+@dataclass(frozen=True)
+class CircuitStats:
+    """Counts reported per test case in Table 1 of the paper."""
+
+    inputs: int
+    outputs: int
+    gates: int
+    nets: int
+    sinks: int
+
+    def row(self) -> str:
+        return (
+            f"{self.inputs:>7} {self.outputs:>7} {self.gates:>7} "
+            f"{self.nets:>7} {self.sinks:>7}"
+        )
+
+
+def circuit_stats(circuit: Circuit) -> CircuitStats:
+    """Compute input/output/gate/net/sink counts for a circuit."""
+    return CircuitStats(
+        inputs=len(circuit.inputs),
+        outputs=len(circuit.outputs),
+        gates=circuit.num_gates,
+        nets=circuit.num_nets,
+        sinks=circuit.num_sinks,
+    )

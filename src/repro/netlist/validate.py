@@ -1,0 +1,60 @@
+"""Well-formedness checks (Section 3.1).
+
+A circuit is *well-formed* when every pin is connected to an existing
+net, the netlist is acyclic, and names are consistent.  ``validate``
+raises with a precise message; ``is_well_formed`` is the Boolean view.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import NetlistError
+from repro.netlist.circuit import Circuit
+from repro.netlist.traverse import topological_order
+
+
+def validation_problems(circuit: Circuit) -> List[str]:
+    """All well-formedness violations, as human-readable strings."""
+    problems: List[str] = []
+    seen = set(circuit.inputs)
+    if len(seen) != len(circuit.inputs):
+        problems.append("duplicate primary input names")
+    for name, gate in circuit.gates.items():
+        if name != gate.name:
+            problems.append(f"gate key {name!r} != gate name {gate.name!r}")
+        if name in seen:
+            problems.append(f"net name {name!r} is both input and gate")
+        if not gate.gtype.arity_ok(len(gate.fanins)):
+            problems.append(
+                f"gate {name!r}: arity {len(gate.fanins)} invalid for "
+                f"{gate.gtype.value}"
+            )
+        for i, f in enumerate(gate.fanins):
+            if not circuit.has_net(f):
+                problems.append(f"gate {name!r} pin {i}: dangling net {f!r}")
+    for port, net in circuit.outputs.items():
+        if not circuit.has_net(net):
+            problems.append(f"output {port!r}: dangling net {net!r}")
+    if not circuit.outputs:
+        problems.append("circuit has no outputs")
+    try:
+        topological_order(circuit)
+    except NetlistError as exc:
+        problems.append(str(exc))
+    return problems
+
+
+def validate(circuit: Circuit) -> None:
+    """Raise :class:`NetlistError` unless the circuit is well-formed."""
+    problems = validation_problems(circuit)
+    if problems:
+        raise NetlistError(
+            f"circuit {circuit.name!r} is not well-formed: "
+            + "; ".join(problems)
+        )
+
+
+def is_well_formed(circuit: Circuit) -> bool:
+    """True when the circuit passes all structural checks."""
+    return not validation_problems(circuit)

@@ -1,0 +1,126 @@
+"""Word-level construction helpers.
+
+A thin layer over :class:`Circuit` for building datapath logic the way
+RTL describes it: named multi-bit words with vectorized operators,
+ripple adders, equality and muxing.  The generators use plain gates for
+historical reasons; downstream users building their own specs get this
+friendlier API (see ``examples/wordlevel_spec.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.errors import NetlistError
+from repro.netlist.circuit import Circuit
+
+#: operands may be words or single nets (broadcast)
+Operand = Union["Word", str]
+
+
+class Word:
+    """An ordered list of nets, LSB first, bound to a circuit."""
+
+    __slots__ = ("circuit", "bits")
+
+    def __init__(self, circuit: Circuit, bits: Sequence[str]):
+        for b in bits:
+            if not circuit.has_net(b):
+                raise NetlistError(f"word bit {b!r} does not exist")
+        self.circuit = circuit
+        self.bits = list(bits)
+
+    def __len__(self) -> int:
+        return len(self.bits)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Word(self.circuit, self.bits[index])
+        return self.bits[index]
+
+    # ------------------------------------------------------------------
+    def _pair(self, other: Operand) -> List[str]:
+        if isinstance(other, Word):
+            if len(other) != len(self):
+                raise NetlistError(
+                    f"width mismatch: {len(self)} vs {len(other)}")
+            return list(other.bits)
+        return [other] * len(self)  # broadcast a single net
+
+    def _map2(self, other: Operand, op) -> "Word":
+        rhs = self._pair(other)
+        return Word(self.circuit,
+                    [op(a, b) for a, b in zip(self.bits, rhs)])
+
+    def __and__(self, other: Operand) -> "Word":
+        return self._map2(other, self.circuit.and_)
+
+    def __or__(self, other: Operand) -> "Word":
+        return self._map2(other, self.circuit.or_)
+
+    def __xor__(self, other: Operand) -> "Word":
+        return self._map2(other, self.circuit.xor)
+
+    def __invert__(self) -> "Word":
+        return Word(self.circuit, [self.circuit.not_(b) for b in self.bits])
+
+    # ------------------------------------------------------------------
+    def add(self, other: Operand, carry_in: Optional[str] = None):
+        """Ripple-carry addition; returns ``(sum_word, carry_out)``."""
+        rhs = self._pair(other)
+        c = self.circuit
+        carry = carry_in or c.const0()
+        sums: List[str] = []
+        for a, b in zip(self.bits, rhs):
+            axb = c.xor(a, b)
+            sums.append(c.xor(axb, carry))
+            gen = c.and_(a, b)
+            prop = c.and_(axb, carry)
+            carry = c.or_(gen, prop)
+        return Word(c, sums), carry
+
+    def equals(self, other: Operand) -> str:
+        """Single net: true when the words are bitwise equal."""
+        rhs = self._pair(other)
+        c = self.circuit
+        eqs = [c.xnor(a, b) for a, b in zip(self.bits, rhs)]
+        return eqs[0] if len(eqs) == 1 else c.and_(*eqs)
+
+    def mux(self, select: str, other: Operand) -> "Word":
+        """Per-bit ``select ? other : self``."""
+        rhs = self._pair(other)
+        c = self.circuit
+        return Word(c, [c.mux(select, a, b)
+                        for a, b in zip(self.bits, rhs)])
+
+    def any(self) -> str:
+        """OR-reduction to one net."""
+        if len(self.bits) == 1:
+            return self.bits[0]
+        return self.circuit.or_(*self.bits)
+
+    def parity(self) -> str:
+        """XOR-reduction to one net."""
+        if len(self.bits) == 1:
+            return self.bits[0]
+        return self.circuit.xor(*self.bits)
+
+    def outputs(self, prefix: str) -> None:
+        """Expose every bit as output ``{prefix}{k}``."""
+        for k, bit in enumerate(self.bits):
+            self.circuit.set_output(f"{prefix}{k}", bit)
+
+
+def input_word(circuit: Circuit, prefix: str, width: int) -> Word:
+    """Declare ``width`` primary inputs ``{prefix}0 ..`` as a word."""
+    return Word(circuit,
+                circuit.add_inputs([f"{prefix}{k}" for k in range(width)]))
+
+
+def constant_word(circuit: Circuit, value: int, width: int) -> Word:
+    """A word tied to the binary encoding of ``value`` (LSB first)."""
+    bits = []
+    for k in range(width):
+        bits.append(circuit.const1() if value >> k & 1 else
+                    circuit.const0())
+    return Word(circuit, bits)

@@ -1,0 +1,97 @@
+"""CNF formula container and DIMACS I/O."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import ParseError, SatError
+
+
+class Cnf:
+    """A CNF formula: a variable count and a list of clauses.
+
+    Clauses are tuples of non-zero DIMACS literals.  The container is
+    solver-agnostic; :meth:`load_into` feeds any object with ``new_var``
+    / ``add_clause`` (e.g. :class:`repro.sat.Solver`).
+    """
+
+    def __init__(self, num_vars: int = 0):
+        self.num_vars = num_vars
+        self.clauses: List[Tuple[int, ...]] = []
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_clause(self, lits: Iterable[int]) -> None:
+        clause = tuple(lits)
+        for lit in clause:
+            if lit == 0 or abs(lit) > self.num_vars:
+                raise SatError(f"literal {lit} out of range")
+        self.clauses.append(clause)
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
+        for c in clauses:
+            self.add_clause(c)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def load_into(self, solver) -> List[int]:
+        """Create variables in ``solver`` and add all clauses.
+
+        Returns the solver variable id for each CNF variable (1-based:
+        entry ``i`` corresponds to CNF variable ``i+1``), so formulas
+        can be combined into one incremental solver.
+        """
+        mapping = [solver.new_var() for _ in range(self.num_vars)]
+
+        def translate(lit: int) -> int:
+            v = mapping[abs(lit) - 1]
+            return v if lit > 0 else -v
+
+        for clause in self.clauses:
+            solver.add_clause([translate(l) for l in clause])
+        return mapping
+
+    def __repr__(self) -> str:
+        return f"Cnf(vars={self.num_vars}, clauses={len(self.clauses)})"
+
+
+def parse_dimacs(text: str, filename: str = "<string>") -> Cnf:
+    """Parse a DIMACS CNF file."""
+    cnf = None
+    pending: List[int] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf" \
+                    or not parts[2].isdigit() or not parts[3].isdigit():
+                raise ParseError("malformed problem line", filename, lineno)
+            cnf = Cnf(int(parts[2]))
+            continue
+        if cnf is None:
+            raise ParseError("clause before problem line", filename, lineno)
+        for tok in line.split():
+            lit = int(tok)
+            if lit == 0:
+                cnf.add_clause(pending)
+                pending = []
+            else:
+                pending.append(lit)
+    if cnf is None:
+        raise ParseError("missing problem line", filename, 0)
+    if pending:
+        cnf.add_clause(pending)  # tolerate missing trailing 0
+    return cnf
+
+
+def to_dimacs(cnf: Cnf) -> str:
+    """Serialize to DIMACS text."""
+    lines = [f"p cnf {cnf.num_vars} {len(cnf.clauses)}"]
+    for clause in cnf.clauses:
+        lines.append(" ".join(str(l) for l in clause) + " 0")
+    return "\n".join(lines) + "\n"

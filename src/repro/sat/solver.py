@@ -1,0 +1,546 @@
+"""A CDCL SAT solver.
+
+Implements the conflict-driven clause-learning architecture of MiniSAT:
+
+* two-watched-literal unit propagation;
+* VSIDS variable activity with exponential decay and phase saving;
+* first-UIP conflict analysis with recursive clause minimization;
+* geometric restarts;
+* activity-driven learned-clause database reduction;
+* incremental solving under assumptions;
+* conflict budgets (returns :data:`UNKNOWN` when exhausted).
+
+Literals use the DIMACS convention at the API boundary: variables are
+positive integers from :meth:`Solver.new_var`, a negative integer is
+the negated literal.  Internally literals are ``2*var + sign``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import SatError
+
+SAT = "sat"
+UNSAT = "unsat"
+UNKNOWN = "unknown"
+
+_UNDEF = -1
+
+
+def _mklit(var: int, negative: bool) -> int:
+    return (var << 1) | int(negative)
+
+
+def _lit_var(lit: int) -> int:
+    return lit >> 1
+
+
+def _lit_neg(lit: int) -> int:
+    return lit ^ 1
+
+def _lit_sign(lit: int) -> bool:
+    """True when the literal is negative."""
+    return bool(lit & 1)
+
+
+class _Clause:
+    __slots__ = ("lits", "learnt", "activity")
+
+    def __init__(self, lits: List[int], learnt: bool):
+        self.lits = lits
+        self.learnt = learnt
+        self.activity = 0.0
+
+
+class Solver:
+    """Incremental CDCL solver.
+
+    Typical use::
+
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([a, b])
+        s.add_clause([-a, b])
+        assert s.solve() == SAT
+        assert s.model_value(b) is True
+    """
+
+    def __init__(self):
+        self._num_vars = 0
+        self._clauses: List[_Clause] = []
+        self._learnts: List[_Clause] = []
+        self._watches: List[List[_Clause]] = []  # per internal literal
+        self._assign: List[int] = []  # per var: 1 true, 0 false, -1 undef
+        self._level: List[int] = []
+        self._reason: List[Optional[_Clause]] = []
+        self._trail: List[int] = []  # internal literals in assignment order
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+        self._activity: List[float] = []
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._cla_inc = 1.0
+        self._cla_decay = 0.999
+        self._saved_phase: List[bool] = []
+        self._order: List[int] = []  # lazy heap substitute: sorted on demand
+        self._ok = True
+        self._model: List[int] = []
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        self._assumption_levels: List[int] = []
+        self._core: Optional[List[int]] = None
+
+    # ------------------------------------------------------------------
+    # problem construction
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        """Allocate a variable; returns its positive DIMACS id."""
+        self._num_vars += 1
+        self._assign.append(_UNDEF)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._saved_phase.append(False)
+        self._watches.append([])
+        self._watches.append([])
+        return self._num_vars
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    def _to_internal(self, dimacs_lit: int) -> int:
+        var = abs(dimacs_lit) - 1
+        if dimacs_lit == 0 or var >= self._num_vars:
+            raise SatError(f"bad literal {dimacs_lit}")
+        return _mklit(var, dimacs_lit < 0)
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a clause of DIMACS literals; returns False if trivially UNSAT.
+
+        Must be called at decision level 0 (i.e. between solve calls).
+        """
+        if self._trail_lim:
+            raise SatError("add_clause while solving")
+        if not self._ok:
+            return False
+        internal = sorted({self._to_internal(l) for l in lits})
+        # remove duplicate/complementary literals and satisfied clauses
+        out: List[int] = []
+        prev = None
+        for lit in internal:
+            if prev is not None and lit == _lit_neg(prev):
+                return True  # tautology
+            val = self._value(lit)
+            if val == 1:
+                return True  # already satisfied at level 0
+            if val == _UNDEF:
+                out.append(lit)
+            prev = lit
+        if not out:
+            self._ok = False
+            return False
+        if len(out) == 1:
+            if not self._enqueue(out[0], None):
+                self._ok = False
+                return False
+            conflict = self._propagate()
+            if conflict is not None:
+                self._ok = False
+                return False
+            return True
+        clause = _Clause(out, learnt=False)
+        self._clauses.append(clause)
+        self._attach(clause)
+        return True
+
+    def _attach(self, clause: _Clause) -> None:
+        self._watches[_lit_neg(clause.lits[0])].append(clause)
+        self._watches[_lit_neg(clause.lits[1])].append(clause)
+
+    # ------------------------------------------------------------------
+    # assignment primitives
+    # ------------------------------------------------------------------
+    def _value(self, lit: int) -> int:
+        """1 true, 0 false, -1 undef for an internal literal."""
+        v = self._assign[_lit_var(lit)]
+        if v == _UNDEF:
+            return _UNDEF
+        return v ^ (lit & 1)
+
+    def _enqueue(self, lit: int, reason: Optional[_Clause]) -> bool:
+        val = self._value(lit)
+        if val != _UNDEF:
+            return val == 1
+        var = _lit_var(lit)
+        self._assign[var] = 1 - (lit & 1)
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self) -> Optional[_Clause]:
+        """Unit propagation; returns a conflicting clause or None."""
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            self.propagations += 1
+            watchers = self._watches[lit]
+            self._watches[lit] = []
+            kept: List[_Clause] = []
+            i = 0
+            n = len(watchers)
+            while i < n:
+                clause = watchers[i]
+                i += 1
+                lits = clause.lits
+                # ensure the false literal is lits[1]
+                false_lit = _lit_neg(lit)
+                if lits[0] == false_lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if self._value(first) == 1:
+                    kept.append(clause)
+                    continue
+                # search replacement watch
+                found = False
+                for k in range(2, len(lits)):
+                    if self._value(lits[k]) != 0:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self._watches[_lit_neg(lits[1])].append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                # clause is unit or conflicting
+                kept.append(clause)
+                if not self._enqueue(first, clause):
+                    # conflict: restore remaining watchers
+                    kept.extend(watchers[i:])
+                    self._watches[lit].extend(kept)
+                    self._qhead = len(self._trail)
+                    return clause
+            self._watches[lit].extend(kept)
+        return None
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _new_decision_level(self) -> None:
+        self._trail_lim.append(len(self._trail))
+
+    def _cancel_until(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        limit = self._trail_lim[level]
+        for lit in reversed(self._trail[limit:]):
+            var = _lit_var(lit)
+            self._saved_phase[var] = self._assign[var] == 1
+            self._assign[var] = _UNDEF
+            self._reason[var] = None
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    # ------------------------------------------------------------------
+    # conflict analysis
+    # ------------------------------------------------------------------
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for i in range(self._num_vars):
+                self._activity[i] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        clause.activity += self._cla_inc
+        if clause.activity > 1e20:
+            for c in self._learnts:
+                c.activity *= 1e-20
+            self._cla_inc *= 1e-20
+
+    def _analyze(self, conflict: _Clause) -> (List[int], int):
+        """First-UIP learning; returns (learnt clause, backtrack level)."""
+        learnt: List[int] = [0]  # slot 0 for the asserting literal
+        seen = [False] * self._num_vars
+        counter = 0
+        lit: Optional[int] = None
+        index = len(self._trail) - 1
+        reason: Optional[_Clause] = conflict
+
+        while True:
+            assert reason is not None
+            if reason.learnt:
+                self._bump_clause(reason)
+            for q in reason.lits:
+                if lit is not None and q == lit:
+                    continue  # skip the literal being resolved on
+                var = _lit_var(q)
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = True
+                    self._bump_var(var)
+                    if self._level[var] == self._decision_level():
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            # pick next literal to resolve on
+            while not seen[_lit_var(self._trail[index])]:
+                index -= 1
+            lit = self._trail[index]
+            index -= 1
+            var = _lit_var(lit)
+            seen[var] = False
+            counter -= 1
+            if counter == 0:
+                learnt[0] = _lit_neg(lit)
+                # restore marks for the minimization step
+                for q in learnt[1:]:
+                    seen[_lit_var(q)] = True
+                break
+            reason = self._reason[var]
+
+        # clause minimization: drop literals implied by the rest
+        abstract = 0
+        for q in learnt[1:]:
+            abstract |= 1 << (self._level[_lit_var(q)] & 31)
+        minimized = [learnt[0]]
+        for q in learnt[1:]:
+            if self._reason[_lit_var(q)] is None or \
+                    not self._redundant(q, seen, abstract):
+                minimized.append(q)
+        learnt = minimized
+
+        # compute backtrack level
+        if len(learnt) == 1:
+            bt = 0
+        else:
+            max_i = 1
+            for i in range(2, len(learnt)):
+                if self._level[_lit_var(learnt[i])] > \
+                        self._level[_lit_var(learnt[max_i])]:
+                    max_i = i
+            learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+            bt = self._level[_lit_var(learnt[1])]
+        return learnt, bt
+
+    def _to_dimacs(self, lit: int) -> int:
+        var = _lit_var(lit) + 1
+        return -var if lit & 1 else var
+
+    def _analyze_final(self, seeds: List[int]) -> List[int]:
+        """Assumption literals responsible for falsifying ``seeds``.
+
+        The standard analyze-final: walk the implication trail
+        backwards from the seed variables; decisions reached (which,
+        under assumptions, are exactly the assumption literals) form
+        the core.
+        """
+        seen = set()
+        for lit in seeds:
+            if self._level[_lit_var(lit)] > 0:
+                seen.add(_lit_var(lit))
+        core: List[int] = []
+        for tlit in reversed(self._trail):
+            var = _lit_var(tlit)
+            if var not in seen:
+                continue
+            reason = self._reason[var]
+            if reason is None:
+                core.append(self._to_dimacs(tlit))
+            else:
+                for q in reason.lits:
+                    qvar = _lit_var(q)
+                    if qvar != var and self._level[qvar] > 0:
+                        seen.add(qvar)
+        return core
+
+    def unsat_core(self) -> Optional[List[int]]:
+        """Subset of the last solve's assumptions proven contradictory.
+
+        ``None`` when the last solve was SAT/UNKNOWN or the formula is
+        unsatisfiable without any assumptions (empty core is returned
+        as ``[]`` in that case).  The core is not guaranteed minimal.
+        """
+        return self._core
+
+    def _redundant(self, lit: int, seen: List[bool], abstract: int) -> bool:
+        """Is ``lit`` implied by other marked literals (minimization)?"""
+        stack = [lit]
+        top_seen = dict()
+        while stack:
+            p = stack.pop()
+            reason = self._reason[_lit_var(p)]
+            if reason is None:
+                return False
+            for q in reason.lits[1:]:
+                var = _lit_var(q)
+                if seen[var] or top_seen.get(var) or self._level[var] == 0:
+                    continue
+                if self._reason[var] is None or \
+                        not (abstract >> (self._level[var] & 31)) & 1:
+                    return False
+                top_seen[var] = True
+                stack.append(q)
+        return True
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def _pick_branch(self) -> int:
+        best = -1
+        best_act = -1.0
+        for var in range(self._num_vars):
+            if self._assign[var] == _UNDEF and self._activity[var] > best_act:
+                best = var
+                best_act = self._activity[var]
+        if best == -1:
+            return -1
+        return _mklit(best, not self._saved_phase[best])
+
+    def _reduce_db(self) -> None:
+        """Drop the least active half of learned clauses."""
+        self._learnts.sort(key=lambda c: c.activity)
+        keep_from = len(self._learnts) // 2
+        locked = set()
+        for var in range(self._num_vars):
+            r = self._reason[var]
+            if r is not None and r.learnt:
+                locked.add(id(r))
+        dropped = []
+        kept = []
+        for i, c in enumerate(self._learnts):
+            if i < keep_from and len(c.lits) > 2 and id(c) not in locked:
+                dropped.append(c)
+            else:
+                kept.append(c)
+        drop_ids = {id(c) for c in dropped}
+        if drop_ids:
+            for w in range(len(self._watches)):
+                self._watches[w] = [
+                    c for c in self._watches[w] if id(c) not in drop_ids]
+        self._learnts = kept
+
+    def solve(self, assumptions: Sequence[int] = (),
+              conflict_budget: Optional[int] = None) -> str:
+        """Run the CDCL search.
+
+        Args:
+            assumptions: DIMACS literals assumed true for this call.
+            conflict_budget: give up (returning :data:`UNKNOWN`) after
+                this many conflicts.
+
+        Returns:
+            :data:`SAT`, :data:`UNSAT` or :data:`UNKNOWN`.
+        """
+        if not self._ok:
+            self._core = []
+            return UNSAT
+        self._model = []
+        self._core = None
+        self._cancel_until(0)
+        self._assumption_levels = []
+        conflict = self._propagate()
+        if conflict is not None:
+            self._ok = False
+            self._core = []
+            return UNSAT
+
+        budget_left = conflict_budget
+        restart_limit = 100
+        max_learnts = max(1000, len(self._clauses) // 3)
+        assumption_lits = [self._to_internal(l) for l in assumptions]
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                if budget_left is not None:
+                    budget_left -= 1
+                    if budget_left <= 0:
+                        self._cancel_until(0)
+                        return UNKNOWN
+                if self._decision_level() == 0:
+                    self._ok = False
+                    self._core = []
+                    return UNSAT
+                if self._decision_level() <= len(self._assumption_levels):
+                    # conflict among assumptions: extract the core
+                    self._core = self._analyze_final(list(conflict.lits))
+                    self._cancel_until(0)
+                    return UNSAT
+                learnt, bt = self._analyze(conflict)
+                bt = max(bt, len(self._assumption_levels))
+                self._cancel_until(bt)
+                if len(learnt) == 1:
+                    self._enqueue(learnt[0], None)
+                else:
+                    clause = _Clause(learnt, learnt=True)
+                    self._learnts.append(clause)
+                    self._attach(clause)
+                    self._bump_clause(clause)
+                    self._enqueue(learnt[0], clause)
+                self._var_inc /= self._var_decay
+                self._cla_inc /= self._cla_decay
+                restart_limit -= 1
+                if restart_limit <= 0:
+                    restart_limit = 100
+                    self._cancel_until(len(self._assumption_levels))
+                if len(self._learnts) > max_learnts:
+                    self._reduce_db()
+                    max_learnts = int(max_learnts * 1.3)
+            else:
+                # extend assumptions first
+                if len(self._assumption_levels) < len(assumption_lits):
+                    lit = assumption_lits[len(self._assumption_levels)]
+                    val = self._value(lit)
+                    if val == 0:
+                        # the assumption is already falsified: blame it
+                        # plus the assumptions that implied its negation
+                        core = self._analyze_final([lit])
+                        wanted = self._to_dimacs(lit)
+                        if wanted not in core:
+                            core.append(wanted)
+                        self._core = core
+                        self._cancel_until(0)
+                        return UNSAT
+                    self._new_decision_level()
+                    self._assumption_levels.append(self._decision_level())
+                    if val == _UNDEF:
+                        self._enqueue(lit, None)
+                    continue
+                lit = self._pick_branch()
+                if lit == -1:
+                    # full model found
+                    self._model = list(self._assign)
+                    self._cancel_until(0)
+                    return SAT
+                self.decisions += 1
+                self._new_decision_level()
+                self._enqueue(lit, None)
+
+    # ------------------------------------------------------------------
+    # model access
+    # ------------------------------------------------------------------
+    def model_value(self, dimacs_lit: int) -> Optional[bool]:
+        """Value of a literal in the last SAT model (None if unassigned)."""
+        if not self._model:
+            raise SatError("no model available (last solve was not SAT)")
+        var = abs(dimacs_lit) - 1
+        if var >= len(self._model):
+            raise SatError(f"unknown variable in literal {dimacs_lit}")
+        v = self._model[var]
+        if v == _UNDEF:
+            return None
+        value = bool(v)
+        return value if dimacs_lit > 0 else not value
+
+    def model(self) -> Dict[int, bool]:
+        """The last SAT model as ``{var: value}``."""
+        if not self._model:
+            raise SatError("no model available (last solve was not SAT)")
+        return {
+            v + 1: bool(val)
+            for v, val in enumerate(self._model) if val != _UNDEF
+        }

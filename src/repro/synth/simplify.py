@@ -1,0 +1,184 @@
+"""Constant propagation and local algebraic simplification."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate import GateType
+from repro.netlist.traverse import topological_order
+from repro.cec.sweep import prune_dangling
+
+# Net descriptors during propagation: either a constant or a (possibly
+# negated) reference to a live net.
+_CONST0 = ("const", False)
+_CONST1 = ("const", True)
+
+
+def simplify_constants(circuit: Circuit,
+                       name: Optional[str] = None) -> Circuit:
+    """Propagate constants and apply local identities.
+
+    Handles: constant operands of AND/OR/XOR families, duplicate and
+    complementary operands of symmetric gates, double negation, buffer
+    collapsing, and MUX with constant/equal data or select.  The result
+    is functionally equivalent with dead logic removed.
+    """
+    out = Circuit(name or circuit.name)
+    out.add_inputs(circuit.inputs)
+
+    # value per original net: ("const", bool) or ("net", name, negated)
+    val: Dict[str, Tuple] = {n: ("net", n, False) for n in circuit.inputs}
+
+    def materialize(desc: Tuple) -> str:
+        """Ensure a net exists in `out` carrying this descriptor."""
+        if desc[0] == "const":
+            want = GateType.CONST1 if desc[1] else GateType.CONST0
+            nname = "__const1" if desc[1] else "__const0"
+            if not out.has_net(nname):
+                out.add_gate(nname, want, [])
+            return nname
+        _, net, negated = desc
+        if not negated:
+            return net
+        nname = f"{net}__n"
+        if not out.has_net(nname):
+            out.add_gate(nname, GateType.NOT, [net])
+        return nname
+
+    for gname in topological_order(circuit):
+        gate = circuit.gates[gname]
+        descs = [val[f] for f in gate.fanins]
+        desc = _fold(gate.gtype, descs)
+        if desc is not None:
+            val[gname] = desc
+            continue
+        # emit the gate with simplified operands
+        operands = [materialize(d) for d in descs]
+        gtype = gate.gtype
+        if gtype in (GateType.AND, GateType.OR, GateType.NAND,
+                     GateType.NOR, GateType.XOR, GateType.XNOR):
+            operands, gtype, folded = _fold_symmetric(gtype, descs, operands)
+            if folded is not None:
+                val[gname] = folded
+                continue
+            operands = [materialize(d) if isinstance(d, tuple) else d
+                        for d in operands]
+        out.add_gate(gname, gtype, operands)
+        val[gname] = ("net", gname, False)
+
+    for port, net in circuit.outputs.items():
+        out.set_output(port, materialize(val[net]))
+    prune_dangling(out)
+    return out
+
+
+def _fold(gtype: GateType, descs: List[Tuple]) -> Optional[Tuple]:
+    """Whole-gate folds that need no new gate; None means 'emit gate'."""
+    if gtype is GateType.CONST0:
+        return _CONST0
+    if gtype is GateType.CONST1:
+        return _CONST1
+    if gtype is GateType.BUF:
+        return descs[0]
+    if gtype is GateType.NOT:
+        d = descs[0]
+        if d[0] == "const":
+            return ("const", not d[1])
+        return ("net", d[1], not d[2])
+    if gtype is GateType.MUX:
+        s, d0, d1 = descs
+        if s[0] == "const":
+            return d1 if s[1] else d0
+        if d0 == d1:
+            return d0
+        if d0[0] == "const" and d1[0] == "const":
+            # d0=0,d1=1 -> s ; d0=1,d1=0 -> ~s
+            if not d0[1] and d1[1]:
+                return s
+            return ("net", s[1], not s[2]) if s[0] == "net" else None
+    return None
+
+
+def _fold_symmetric(gtype: GateType, descs: List[Tuple],
+                    operands: List[str]):
+    """Simplify symmetric gates; returns (operands, gtype, folded).
+
+    ``folded`` non-None short-circuits the gate to a descriptor.
+    Operand entries may remain descriptors (tuples) when untouched.
+    """
+    invert_out = gtype in (GateType.NAND, GateType.NOR, GateType.XNOR)
+    if gtype in (GateType.AND, GateType.NAND):
+        base = GateType.AND
+    elif gtype in (GateType.OR, GateType.NOR):
+        base = GateType.OR
+    else:
+        base = GateType.XOR
+
+    def negate(desc: Tuple) -> Tuple:
+        if desc[0] == "const":
+            return ("const", not desc[1])
+        return ("net", desc[1], not desc[2])
+
+    if base is GateType.XOR:
+        # constants toggle output polarity; duplicate pairs cancel
+        parity = invert_out
+        seen: Dict[Tuple, int] = {}
+        for d in descs:
+            if d[0] == "const":
+                parity ^= d[1]
+            else:
+                key = ("net", d[1], d[2])
+                seen[key] = seen.get(key, 0) + 1
+        live = []
+        for key, count in seen.items():
+            if count % 2 == 1:
+                live.append(key)
+        # complementary pairs: x ^ ~x = 1
+        i = 0
+        names = {}
+        for key in list(live):
+            names.setdefault(key[1], []).append(key)
+        for net, keys in names.items():
+            if len(keys) == 2:  # x and ~x both live
+                live.remove(keys[0])
+                live.remove(keys[1])
+                parity ^= True
+        if not live:
+            return operands, gtype, ("const", parity)
+        if len(live) == 1:
+            d = live[0]
+            return operands, gtype, negate(d) if parity else d
+        out_type = GateType.XNOR if parity else GateType.XOR
+        return list(live), out_type, None
+
+    # AND/OR family
+    absorbing = ("const", base is GateType.OR)   # 1 absorbs OR, 0 absorbs AND
+    identity = ("const", base is GateType.AND)   # 1 is AND identity
+    live = []
+    seen_keys = set()
+    for d in descs:
+        if d[0] == "const":
+            if d == absorbing:
+                result = ("const", absorbing[1] != invert_out)
+                return operands, gtype, result
+            continue  # identity constant drops out
+        key = ("net", d[1], d[2])
+        if key in seen_keys:
+            continue
+        if ("net", d[1], not d[2]) in seen_keys:
+            # x & ~x = 0 ; x | ~x = 1
+            value = base is GateType.OR
+            return operands, gtype, ("const", value != invert_out)
+        seen_keys.add(key)
+        live.append(key)
+    if not live:
+        return operands, gtype, ("const", identity[1] != invert_out)
+    if len(live) == 1:
+        d = live[0]
+        return operands, gtype, negate(d) if invert_out else d
+    out_type = gtype if len(live) == len(descs) else (
+        {GateType.AND: GateType.AND, GateType.NAND: GateType.NAND,
+         GateType.OR: GateType.OR, GateType.NOR: GateType.NOR}[gtype]
+    )
+    return list(live), out_type, None

@@ -1,0 +1,26 @@
+"""Static timing analysis substrate.
+
+The paper's Table 3 measures patch impact on design slack after place
+and route.  Without physical design data we use a consistent logical
+proxy: a load-aware linear delay model over the levelized netlist.  The
+absolute numbers differ from silicon, but the *relative* comparison the
+paper makes — whose patch degrades slack less — is preserved because
+both tools' patches are measured with the same model.
+"""
+
+from repro.timing.delay_model import DelayModel, DEFAULT_DELAY_MODEL
+from repro.timing.sta import (
+    TimingReport,
+    arrival_times,
+    analyze,
+    critical_path,
+)
+
+__all__ = [
+    "DelayModel",
+    "DEFAULT_DELAY_MODEL",
+    "TimingReport",
+    "arrival_times",
+    "analyze",
+    "critical_path",
+]

@@ -1,0 +1,47 @@
+"""Gate delay model: intrinsic delay plus fanout load, in picoseconds."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.netlist.gate import GateType
+
+# Intrinsic delays loosely follow relative cell strengths of a generic
+# standard-cell library: inverters fastest, XOR family slowest.
+_DEFAULT_INTRINSIC = {
+    GateType.CONST0: 0.0,
+    GateType.CONST1: 0.0,
+    GateType.BUF: 6.0,
+    GateType.NOT: 5.0,
+    GateType.AND: 12.0,
+    GateType.NAND: 9.0,
+    GateType.OR: 12.0,
+    GateType.NOR: 9.0,
+    GateType.XOR: 18.0,
+    GateType.XNOR: 18.0,
+    GateType.MUX: 16.0,
+}
+
+
+@dataclass(frozen=True)
+class DelayModel:
+    """Linear delay model: ``delay = intrinsic[type] + load_ps * sinks``.
+
+    ``extra_input_ps`` charges wide gates for every operand beyond the
+    second, approximating the decomposition cost a technology mapper
+    would pay.
+    """
+
+    intrinsic: Mapping[GateType, float] = field(
+        default_factory=lambda: dict(_DEFAULT_INTRINSIC))
+    load_ps: float = 1.5
+    extra_input_ps: float = 4.0
+
+    def gate_delay(self, gtype: GateType, fanins: int, sinks: int) -> float:
+        base = self.intrinsic.get(gtype, 12.0)
+        wide = max(0, fanins - 2) * self.extra_input_ps
+        return base + wide + self.load_ps * sinks
+
+
+DEFAULT_DELAY_MODEL = DelayModel()

@@ -1,0 +1,63 @@
+"""Synthetic ECO workloads.
+
+The paper evaluates on 11 proprietary microprocessor ECOs; this package
+builds their open substitute (see DESIGN.md): deterministic generator
+families for specification netlists, ground-truth functional revisions
+(whose size is the 'designer's estimate'), and the scaled test-case
+suites behind Tables 1-3 plus the circuits of Figures 1-3.
+"""
+
+from repro.workloads.generators import (
+    word_mux_design,
+    alu_design,
+    control_design,
+    priority_encoder,
+    comparator_design,
+    parity_design,
+    mixed_design,
+    random_dag,
+    decoder_design,
+    multiplier_design,
+)
+from repro.workloads.revisions import (
+    Revision,
+    apply_revision,
+    gate_type_change,
+    wrong_input,
+    add_condition,
+    polarity_flip,
+    word_redefine,
+    drop_term,
+    extra_term,
+    compose_revisions,
+)
+from repro.workloads.suite import EcoCase, build_suite, build_timing_suite
+from repro.workloads.figures import figure1_circuits, example1_circuits
+
+__all__ = [
+    "word_mux_design",
+    "alu_design",
+    "control_design",
+    "priority_encoder",
+    "comparator_design",
+    "parity_design",
+    "mixed_design",
+    "random_dag",
+    "decoder_design",
+    "multiplier_design",
+    "Revision",
+    "apply_revision",
+    "gate_type_change",
+    "wrong_input",
+    "add_condition",
+    "polarity_flip",
+    "word_redefine",
+    "drop_term",
+    "extra_term",
+    "compose_revisions",
+    "EcoCase",
+    "build_suite",
+    "build_timing_suite",
+    "figure1_circuits",
+    "example1_circuits",
+]

@@ -1,0 +1,289 @@
+"""Deterministic specification-netlist generators.
+
+Each generator returns a well-formed :class:`Circuit` representing a
+*specification* — the lightly structured netlist an RTL elaboration
+would produce.  The suite derives the implementation side by running
+:func:`repro.synth.optimize_heavy` on these.  Families cover the logic
+styles of microprocessor control and datapath blocks: word gating and
+multiplexing, small ALUs, two-level control, priority logic,
+comparators and parity trees.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate import GateType
+
+
+def word_mux_design(n_words: int = 2, width: int = 8,
+                    name: str = "wordmux") -> Circuit:
+    """Word gating in the style of Figure 1 / Example 1.
+
+    ``out_k = OR_i (w{i}_{k} & sel_i)`` with one select per word; the
+    selects are single-bit multi-sink signals — exactly the net shape
+    whose sinks become rectification points in the paper's motivating
+    example.
+    """
+    c = Circuit(name)
+    sels = c.add_inputs([f"sel{i}" for i in range(n_words)])
+    for i in range(n_words):
+        c.add_inputs([f"w{i}_{k}" for k in range(width)])
+    for k in range(width):
+        terms = [c.and_(f"w{i}_{k}", f"sel{i}") for i in range(n_words)]
+        c.set_output(f"out_{k}", c.or_(*terms) if len(terms) > 1 else terms[0])
+    return c
+
+
+def alu_design(width: int = 4, name: str = "alu") -> Circuit:
+    """A small ALU: op selects among add, and, or, xor.
+
+    Two ``op`` bits select the function; addition is a ripple-carry
+    chain, making the high result bits deep — the timing-critical shape
+    used by the Table 3 designs.
+    """
+    c = Circuit(name)
+    c.add_inputs([f"a{k}" for k in range(width)])
+    c.add_inputs([f"b{k}" for k in range(width)])
+    op0, op1 = c.add_inputs(["op0", "op1"])
+
+    carry = c.const0("c_in")
+    sums: List[str] = []
+    for k in range(width):
+        axb = c.xor(f"a{k}", f"b{k}", name=f"axb{k}")
+        sums.append(c.xor(axb, carry, name=f"sum{k}"))
+        gen = c.and_(f"a{k}", f"b{k}", name=f"gen{k}")
+        prop = c.and_(axb, carry, name=f"prp{k}")
+        carry = c.or_(gen, prop, name=f"cry{k}")
+
+    for k in range(width):
+        f_and = c.and_(f"a{k}", f"b{k}")
+        f_or = c.or_(f"a{k}", f"b{k}")
+        f_xor = c.xor(f"a{k}", f"b{k}")
+        lo = c.mux(op0, sums[k], f_and)     # op1=0: add / and
+        hi = c.mux(op0, f_or, f_xor)        # op1=1: or / xor
+        c.set_output(f"r{k}", c.mux(op1, lo, hi))
+    c.set_output("cout", carry)
+    return c
+
+
+def control_design(n_inputs: int = 10, n_outputs: int = 6,
+                   n_terms: int = 12, seed: int = 0,
+                   name: str = "control") -> Circuit:
+    """Random two-level control logic: shared product terms, OR planes.
+
+    Product terms are shared among outputs, creating the multi-sink
+    nets and path entanglement that make rectification-point selection
+    matter.
+    """
+    rng = random.Random(seed)
+    c = Circuit(name)
+    ins = c.add_inputs([f"x{i}" for i in range(n_inputs)])
+    literals: List[str] = list(ins)
+    for i in ins:
+        literals.append(c.not_(i, name=f"n_{i}"))
+    terms: List[str] = []
+    for t in range(n_terms):
+        k = rng.randint(2, min(4, n_inputs))
+        lits = rng.sample(literals, k)
+        terms.append(c.and_(*lits, name=f"term{t}"))
+    for o in range(n_outputs):
+        k = rng.randint(2, min(5, n_terms))
+        chosen = rng.sample(terms, k)
+        c.set_output(f"y{o}", c.or_(*chosen, name=f"plane{o}"))
+    return c
+
+
+def priority_encoder(width: int = 6, name: str = "prio") -> Circuit:
+    """Priority grant logic: ``grant_k = req_k & ~req_{k-1} & ...``."""
+    c = Circuit(name)
+    reqs = c.add_inputs([f"req{k}" for k in range(width)])
+    blocked: Optional[str] = None
+    for k, req in enumerate(reqs):
+        if blocked is None:
+            c.set_output(f"gnt{k}", c.buf(req, name=f"g{k}"))
+            blocked = req
+        else:
+            nb = c.not_(blocked, name=f"nb{k}")
+            c.set_output(f"gnt{k}", c.and_(req, nb, name=f"g{k}"))
+            blocked = c.or_(blocked, req, name=f"blk{k}")
+    c.set_output("any", blocked)
+    return c
+
+
+def comparator_design(width: int = 5, name: str = "cmp") -> Circuit:
+    """Equality and magnitude comparison of two words."""
+    c = Circuit(name)
+    c.add_inputs([f"a{k}" for k in range(width)])
+    c.add_inputs([f"b{k}" for k in range(width)])
+    eq_bits = [c.xnor(f"a{k}", f"b{k}", name=f"eq{k}") for k in range(width)]
+    c.set_output("eq", c.and_(*eq_bits, name="all_eq"))
+    # a > b: scan from MSB
+    gt: Optional[str] = None
+    prefix_eq: Optional[str] = None
+    for k in reversed(range(width)):
+        nb = c.not_(f"b{k}", name=f"nb{k}")
+        here = c.and_(f"a{k}", nb, name=f"gtb{k}")
+        if gt is None:
+            gt = here
+            prefix_eq = eq_bits[k]
+        else:
+            qualified = c.and_(prefix_eq, here, name=f"q{k}")
+            gt = c.or_(gt, qualified, name=f"gtacc{k}")
+            prefix_eq = c.and_(prefix_eq, eq_bits[k], name=f"pe{k}")
+    c.set_output("gt", gt)
+    return c
+
+
+def parity_design(width: int = 8, groups: int = 2,
+                  name: str = "parity") -> Circuit:
+    """Per-group and overall parity trees."""
+    c = Circuit(name)
+    ins = c.add_inputs([f"d{k}" for k in range(width)])
+    per_group = max(1, width // groups)
+    group_nets = []
+    for g in range(groups):
+        chunk = ins[g * per_group:(g + 1) * per_group] or ins[-1:]
+        net = c.xor(*chunk, name=f"par{g}") if len(chunk) > 1 \
+            else c.buf(chunk[0], name=f"par{g}")
+        group_nets.append(net)
+        c.set_output(f"p{g}", net)
+    total = c.xor(*group_nets, name="par_all") if len(group_nets) > 1 \
+        else group_nets[0]
+    c.set_output("p_all", total)
+    return c
+
+
+def random_dag(n_inputs: int = 8, n_gates: int = 60, n_outputs: int = 5,
+               seed: int = 0, name: str = "dag") -> Circuit:
+    """Unstructured random logic DAG (stress / property tests)."""
+    rng = random.Random(seed)
+    c = Circuit(name)
+    nets = list(c.add_inputs([f"x{i}" for i in range(n_inputs)]))
+    choices = [GateType.AND, GateType.OR, GateType.XOR, GateType.NAND,
+               GateType.NOR, GateType.NOT, GateType.MUX, GateType.XNOR]
+    for _ in range(n_gates):
+        gtype = rng.choice(choices)
+        if gtype is GateType.NOT:
+            fanins = [rng.choice(nets)]
+        elif gtype is GateType.MUX:
+            fanins = [rng.choice(nets) for _ in range(3)]
+        else:
+            fanins = [rng.choice(nets)
+                      for _ in range(rng.randint(2, 3))]
+        nets.append(c.add(gtype, fanins))
+    pool = nets[n_inputs:] or nets
+    for o in range(n_outputs):
+        c.set_output(f"y{o}", rng.choice(pool))
+    return c
+
+
+def decoder_design(select_bits: int = 3, enable: bool = True,
+                   name: str = "decoder") -> Circuit:
+    """A one-hot decoder: ``d_k`` high when the select equals ``k``.
+
+    Every output AND shares the select literals — maximal literal
+    sharing, the classic shape where one wrong literal polarity (a
+    ``polarity`` revision) ripples across many outputs.
+    """
+    c = Circuit(name)
+    sels = c.add_inputs([f"s{i}" for i in range(select_bits)])
+    en = c.add_input("en") if enable else None
+    inv = {s: c.not_(s, name=f"ns{i}") for i, s in enumerate(sels)}
+    for k in range(1 << select_bits):
+        lits = [sels[i] if (k >> i) & 1 else inv[sels[i]]
+                for i in range(select_bits)]
+        if en is not None:
+            lits.append(en)
+        c.set_output(f"d{k}", c.and_(*lits, name=f"dec{k}"))
+    return c
+
+
+def multiplier_design(width: int = 3, name: str = "mult") -> Circuit:
+    """An array multiplier: partial products + ripple adder rows.
+
+    The deepest generator in the suite; its high result bits have long
+    reconvergent carry chains — the structure where rectification-point
+    selection matters most and structural matching decays fastest.
+    """
+    c = Circuit(name)
+    c.add_inputs([f"a{k}" for k in range(width)])
+    c.add_inputs([f"b{k}" for k in range(width)])
+
+    # partial products pp[i][j] = a_j & b_i
+    pp = [[c.and_(f"a{j}", f"b{i}", name=f"pp{i}_{j}")
+           for j in range(width)] for i in range(width)]
+
+    def full_add(x: str, y: str, z: str, tag: str):
+        s1 = c.xor(x, y, name=f"{tag}_x")
+        total = c.xor(s1, z, name=f"{tag}_s")
+        c1 = c.and_(x, y, name=f"{tag}_c1")
+        c2 = c.and_(s1, z, name=f"{tag}_c2")
+        carry = c.or_(c1, c2, name=f"{tag}_c")
+        return total, carry
+
+    # row-by-row accumulation: after row i, acc holds bits i.. of the
+    # running product and bit i is final
+    acc = list(pp[0])
+    c.set_output("p0", acc[0])
+    for i in range(1, width):
+        new_acc = []
+        carry = c.const0(f"c0_{i}")
+        for j in range(width):
+            upper = acc[j + 1] if j + 1 < len(acc) else \
+                c.const0(f"pad{i}_{j}")
+            total, carry = full_add(pp[i][j], upper, carry,
+                                    f"fa{i}_{j}")
+            new_acc.append(total)
+        new_acc.append(carry)
+        c.set_output(f"p{i}", new_acc[0])
+        acc = new_acc
+    for j, bit in enumerate(acc[1:], start=width):
+        c.set_output(f"p{j}", bit)
+    return c
+
+
+def _merge_into(dst: Circuit, src: Circuit, tag: str) -> None:
+    """Instantiate ``src`` inside ``dst`` with prefixed internal names.
+
+    Inputs and outputs keep their own names prefixed with the tag so
+    merged blocks stay independent.
+    """
+    mapping = {}
+    for i in src.inputs:
+        name = f"{tag}_{i}"
+        dst.add_input(name)
+        mapping[i] = name
+    from repro.netlist.traverse import topological_order
+    for g in topological_order(src):
+        gate = src.gates[g]
+        new = f"{tag}_{g}"
+        dst.add_gate(new, gate.gtype, [mapping[f] for f in gate.fanins])
+        mapping[g] = new
+    for port, net in src.outputs.items():
+        dst.set_output(f"{tag}_{port}", mapping[net])
+
+
+def mixed_design(blocks: Sequence[Tuple[str, Circuit]],
+                 glue_seed: Optional[int] = None,
+                 name: str = "mixed") -> Circuit:
+    """Compose independent blocks, optionally adding shared glue logic.
+
+    With ``glue_seed`` set, extra outputs combining nets across blocks
+    are added, entangling their cones the way flattened units entangle
+    in a real hierarchy.
+    """
+    c = Circuit(name)
+    for tag, block in blocks:
+        _merge_into(c, block, tag)
+    if glue_seed is not None:
+        rng = random.Random(glue_seed)
+        gate_nets = list(c.gates)
+        if len(gate_nets) >= 4:
+            for j in range(max(1, len(c.outputs) // 6)):
+                picks = rng.sample(gate_nets, min(3, len(gate_nets)))
+                net = c.and_(*picks, name=f"glue{j}")
+                c.set_output(f"glue_out{j}", net)
+    return c

@@ -1,0 +1,283 @@
+"""The scaled test-case suites behind Tables 1-3.
+
+Eleven ECO cases mirror the *relative* characteristics of the paper's
+Table 1 — size spread across two orders of magnitude, revised-output
+fractions from under 1% to ~2/3 — at roughly 1/150 scale (pure-Python
+symbolic engines; see DESIGN.md).  Each case is produced exactly like
+the industrial flow the paper describes:
+
+* spec ``S``  --heavy synthesis-->  implementation ``C``;
+* ``S`` + ground-truth revision  --light synthesis-->  spec ``C'``.
+
+The revision size is recorded as the designer's estimate.  Four further
+timing-critical cases (ids 12-15) feed Table 3.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.netlist.circuit import Circuit
+from repro.netlist.simulate import random_patterns, simulate_words
+from repro.synth import optimize_heavy, optimize_light
+from repro.workloads.generators import (
+    alu_design,
+    comparator_design,
+    control_design,
+    decoder_design,
+    mixed_design,
+    multiplier_design,
+    parity_design,
+    priority_encoder,
+    word_mux_design,
+)
+from repro.workloads.revisions import (
+    Revision,
+    apply_revision,
+    compose_revisions,
+)
+
+
+@dataclass
+class EcoCase:
+    """One ECO test case: implementation, revised spec, ground truth."""
+
+    case_id: int
+    name: str
+    impl: Circuit
+    spec: Circuit
+    revision: Revision
+
+    @property
+    def designer_estimate(self) -> int:
+        return self.revision.estimate_gates
+
+
+def _differs_somewhere(impl: Circuit, spec: Circuit, rounds: int = 8,
+                       seed: int = 11) -> bool:
+    """Cheap necessary check that the revision is observable."""
+    rng = random.Random(seed)
+    for _ in range(rounds):
+        words = random_patterns(impl.inputs, rng)
+        iv = simulate_words(impl, words)
+        sv = simulate_words(spec, {n: words[n] for n in spec.inputs})
+        for port in impl.outputs:
+            if iv[impl.outputs[port]] != sv[spec.outputs[port]]:
+                return True
+    return False
+
+
+def _make_case(case_id: int, name: str, spec_builder: Callable[[], Circuit],
+               revise: Callable[[Circuit, int], Revision],
+               heavy_seed: int) -> EcoCase:
+    """Generate spec, derive C and C', retrying masked revisions."""
+    for attempt in range(8):
+        source = spec_builder()
+        impl = optimize_heavy(source, seed=heavy_seed + attempt)
+        revised = source.copy()
+        revision = revise(revised, 100 * case_id + attempt)
+        spec = optimize_light(revised)
+        if _differs_somewhere(impl, spec):
+            return EcoCase(case_id=case_id, name=name, impl=impl,
+                           spec=spec, revision=revision)
+    raise ReproError(f"case {case_id}: revision kept getting masked")
+
+
+def _rev(kind: str, **kwargs) -> Callable[[Circuit, int], Revision]:
+    def apply(spec: Circuit, seed: int) -> Revision:
+        return apply_revision(spec, kind, seed=seed, **kwargs)
+    return apply
+
+
+def _multi(kinds: Sequence) -> Callable[[Circuit, int], Revision]:
+    def apply(spec: Circuit, seed: int) -> Revision:
+        return compose_revisions(spec, kinds, seed=seed)
+    return apply
+
+
+# ----------------------------------------------------------------------
+# the 11 Table-1/2 cases
+# ----------------------------------------------------------------------
+
+def _case1_spec() -> Circuit:
+    blocks = [
+        ("wm", word_mux_design(n_words=4, width=24)),
+        ("alu", alu_design(width=10)),
+        ("ctl", control_design(n_inputs=16, n_outputs=16, n_terms=28,
+                               seed=101)),
+        ("cmp", comparator_design(width=10)),
+        ("pri", priority_encoder(width=10)),
+    ]
+    return mixed_design(blocks, glue_seed=1, name="case1")
+
+
+def _case2_spec() -> Circuit:
+    return word_mux_design(n_words=2, width=5, name="case2")
+
+
+def _case3_spec() -> Circuit:
+    blocks = [
+        ("wm1", word_mux_design(n_words=4, width=28)),
+        ("wm2", word_mux_design(n_words=3, width=16)),
+        ("alu", alu_design(width=12)),
+        ("ctl", control_design(n_inputs=18, n_outputs=18, n_terms=32,
+                               seed=303)),
+        ("pri", priority_encoder(width=12)),
+        ("cmp", comparator_design(width=9)),
+        ("dec", decoder_design(select_bits=4)),
+    ]
+    return mixed_design(blocks, glue_seed=3, name="case3")
+
+
+def _case4_spec() -> Circuit:
+    blocks = [
+        ("alu", alu_design(width=5)),
+        ("ctl", control_design(n_inputs=10, n_outputs=6, n_terms=12,
+                               seed=404)),
+    ]
+    return mixed_design(blocks, name="case4")
+
+
+def _case5_spec() -> Circuit:
+    return word_mux_design(n_words=2, width=6, name="case5")
+
+
+def _case6_spec() -> Circuit:
+    blocks = [
+        ("alu", alu_design(width=9)),
+        ("ctl", control_design(n_inputs=14, n_outputs=14, n_terms=24,
+                               seed=606)),
+        ("par", parity_design(width=16, groups=4)),
+        ("cmp", comparator_design(width=8)),
+        ("mul", multiplier_design(width=4)),
+    ]
+    return mixed_design(blocks, name="case6")
+
+
+def _case7_spec() -> Circuit:
+    blocks = [
+        ("wm", word_mux_design(n_words=3, width=12)),
+        ("cmp", comparator_design(width=8)),
+        ("ctl", control_design(n_inputs=12, n_outputs=10, n_terms=18,
+                               seed=707)),
+    ]
+    return mixed_design(blocks, glue_seed=7, name="case7")
+
+
+def _case8_spec() -> Circuit:
+    blocks = [
+        ("ctl", control_design(n_inputs=12, n_outputs=10, n_terms=16,
+                               seed=808)),
+        ("pri", priority_encoder(width=6)),
+    ]
+    return mixed_design(blocks, name="case8")
+
+
+def _case9_spec() -> Circuit:
+    blocks = [
+        ("cmp", comparator_design(width=4)),
+        ("par", parity_design(width=8, groups=2)),
+    ]
+    return mixed_design(blocks, name="case9")
+
+
+def _case10_spec() -> Circuit:
+    return control_design(n_inputs=14, n_outputs=12, n_terms=20,
+                          seed=1010, name="case10")
+
+
+def _case11_spec() -> Circuit:
+    blocks = [
+        ("alu", alu_design(width=5)),
+        ("pri", priority_encoder(width=7)),
+        ("ctl", control_design(n_inputs=10, n_outputs=8, n_terms=12,
+                               seed=1111)),
+    ]
+    return mixed_design(blocks, name="case11")
+
+
+_CASES: List[Tuple[int, str, Callable[[], Circuit],
+                   Callable[[Circuit, int], Revision], int]] = [
+    (1, "case1", _case1_spec,
+     _multi([("word-redefine", {"out_prefix": "wm_out_", "max_bits": 6}),
+             ("gate-type", {"bias": "deep"})]), 41),
+    (2, "case2", _case2_spec, _rev("add-condition", bias="deep"), 42),
+    (3, "case3", _case3_spec,
+     _multi([("word-redefine", {"out_prefix": "wm1_out_", "max_bits": 7}),
+             ("polarity", {"bias": "deep"})]), 43),
+    (4, "case4", _case4_spec, _rev("gate-type", bias="deep"), 44),
+    (5, "case5", _case5_spec, _rev("add-condition", bias="deep"), 45),
+    (6, "case6", _case6_spec, _rev("polarity", bias="shallow"), 46),
+    (7, "case7", _case7_spec,
+     _multi([("gate-type", {"bias": "deep"}),
+             ("polarity", {"bias": "deep"})]), 47),
+    (8, "case8", _case8_spec, _rev("wrong-input", bias="deep"), 48),
+    (9, "case9", _case9_spec, _rev("gate-type", bias="deep"), 49),
+    (10, "case10", _case10_spec, _rev("polarity", bias="shallow"), 50),
+    (11, "case11", _case11_spec, _rev("gate-type", bias="deep"), 51),
+]
+
+
+def build_case(case_id: int) -> EcoCase:
+    """Build one of the 11 Table-1/2 cases by id (1-based)."""
+    for cid, name, spec_builder, revise, seed in _CASES:
+        if cid == case_id:
+            return _make_case(cid, name, spec_builder, revise, seed)
+    raise ReproError(f"no case with id {case_id}")
+
+
+def build_suite(ids: Optional[Sequence[int]] = None) -> List[EcoCase]:
+    """Build the full 11-case suite (or a subset by id)."""
+    wanted = set(ids) if ids is not None else {c[0] for c in _CASES}
+    return [build_case(cid) for cid, *_ in _CASES if cid in wanted]
+
+
+# ----------------------------------------------------------------------
+# the 4 Table-3 timing cases (ids 12-15)
+# ----------------------------------------------------------------------
+
+def _timing_spec(case_id: int) -> Circuit:
+    if case_id == 12:
+        blocks = [("alu", alu_design(width=6)),
+                  ("cmp", comparator_design(width=5))]
+        return mixed_design(blocks, name="case12")
+    if case_id == 13:
+        blocks = [("alu", alu_design(width=7)),
+                  ("ctl", control_design(n_inputs=10, n_outputs=6,
+                                         n_terms=12, seed=1313))]
+        return mixed_design(blocks, name="case13")
+    if case_id == 14:
+        blocks = [("alu1", alu_design(width=6)),
+                  ("mul", multiplier_design(width=3)),
+                  ("pri", priority_encoder(width=6))]
+        return mixed_design(blocks, name="case14")
+    if case_id == 15:
+        blocks = [("cmp", comparator_design(width=7)),
+                  ("par", parity_design(width=10, groups=2))]
+        return mixed_design(blocks, name="case15")
+    raise ReproError(f"no timing case with id {case_id}")
+
+
+_TIMING_REVS: Dict[int, Callable[[Circuit, int], Revision]] = {
+    12: _rev("gate-type", bias="deep"),
+    13: _rev("word-redefine", out_prefix="alu_r", max_bits=4),
+    14: _rev("polarity", bias="deep"),
+    15: _rev("wrong-input", bias="deep"),
+}
+
+
+def build_timing_case(case_id: int) -> EcoCase:
+    """Build one of the Table-3 cases (ids 12-15)."""
+    if case_id not in _TIMING_REVS:
+        raise ReproError(f"no timing case with id {case_id}")
+    return _make_case(case_id, f"case{case_id}",
+                      lambda: _timing_spec(case_id),
+                      _TIMING_REVS[case_id], 60 + case_id)
+
+
+def build_timing_suite() -> List[EcoCase]:
+    """All four Table-3 cases."""
+    return [build_timing_case(cid) for cid in (12, 13, 14, 15)]

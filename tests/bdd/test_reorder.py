@@ -1,0 +1,82 @@
+"""Tests for rebuild-based variable reordering."""
+
+import itertools
+
+from repro.bdd.manager import BddManager
+from repro.bdd.reorder import greedy_sift, rebuild_with_order, shared_size
+
+
+def interleaved_function(m: BddManager):
+    """f = x0&x1 | x2&x3 | x4&x5 — order-sensitive size."""
+    return m.or_(
+        m.and_(m.var(0), m.var(1)),
+        m.and_(m.var(2), m.var(3)),
+        m.and_(m.var(4), m.var(5)),
+    )
+
+
+class TestRebuildWithOrder:
+    def test_identity_order_preserves_function(self):
+        m = BddManager(6)
+        f = interleaved_function(m)
+        new, roots = rebuild_with_order(m, [f], list(range(6)))
+        for bits in itertools.product([False, True], repeat=6):
+            env = dict(enumerate(bits))
+            assert m.evaluate(f, env) == new.evaluate(roots[0], env)
+
+    def test_permutation_renames_semantics(self):
+        m = BddManager(2)
+        f = m.and_(m.var(0), m.not_(m.var(1)))
+        # order [1, 0]: new var0 = old var1
+        new, roots = rebuild_with_order(m, [f], [1, 0])
+        # old assignment (a0, a1) maps to new assignment (a1, a0)
+        for a0, a1 in itertools.product([False, True], repeat=2):
+            assert m.evaluate(f, {0: a0, 1: a1}) == \
+                new.evaluate(roots[0], {0: a1, 1: a0})
+
+    def test_bad_interleaving_grows(self):
+        m = BddManager(6)
+        f = interleaved_function(m)
+        good = shared_size(*(lambda p: (p[0], p[1]))(
+            rebuild_with_order(m, [f], [0, 1, 2, 3, 4, 5])))
+        bad_mgr, bad_roots = rebuild_with_order(m, [f], [0, 2, 4, 1, 3, 5])
+        assert shared_size(bad_mgr, bad_roots) > good
+
+
+class TestGreedySift:
+    def test_recovers_good_order(self):
+        m = BddManager(6)
+        # build under a deliberately bad interleaving
+        f = m.or_(
+            m.and_(m.var(0), m.var(3)),
+            m.and_(m.var(1), m.var(4)),
+            m.and_(m.var(2), m.var(5)),
+        )
+        before = shared_size(m, [f])
+        new_mgr, new_roots, order = greedy_sift(m, [f])
+        after = shared_size(new_mgr, new_roots)
+        assert after <= before
+        assert after == 6  # optimal: pairs adjacent
+        assert sorted(order) == list(range(6))
+
+    def test_never_increases_size(self):
+        m = BddManager(4)
+        f = m.xor(m.xor(m.var(0), m.var(1)), m.and_(m.var(2), m.var(3)))
+        before = shared_size(m, [f])
+        new_mgr, new_roots, _ = greedy_sift(m, [f])
+        assert shared_size(new_mgr, new_roots) <= before
+
+    def test_multiple_roots(self):
+        m = BddManager(4)
+        f = m.and_(m.var(0), m.var(2))
+        g = m.and_(m.var(1), m.var(3))
+        new_mgr, new_roots, order = greedy_sift(m, [f, g])
+        assert len(new_roots) == 2
+        assert sorted(order) == list(range(4))
+
+
+def test_shared_size_counts_shared_nodes_once():
+    m = BddManager(2)
+    f = m.and_(m.var(0), m.var(1))
+    g = f
+    assert shared_size(m, [f, g]) == m.size(f)

@@ -1,0 +1,136 @@
+"""Tests for rewiring-choice selection (Xi(c), Example 2)."""
+
+import itertools
+
+import pytest
+
+from repro.bdd.manager import BddManager
+from repro.eco.choices import (
+    default_cost,
+    enumerate_rewiring_choices,
+    make_clone_aware_cost,
+)
+from repro.eco.rewiring import RewireCandidate
+from repro.eco.sampling import SamplingDomain
+from repro.netlist.circuit import Circuit, Pin
+from repro.workloads.figures import example1_circuits
+
+
+def full_domain(circuit):
+    inputs = list(circuit.inputs)
+    samples = [dict(zip(inputs, bits))
+               for bits in itertools.product([False, True],
+                                             repeat=len(inputs))]
+    return SamplingDomain(BddManager(), samples, inputs)
+
+
+def example2_setup():
+    """Pins {q_k select, q_{n+k} select} with S_i = (trivial, c, ~c)."""
+    impl, spec = example1_circuits(width=2)
+    domain = full_domain(impl)
+    impl_z = domain.cast_circuit(impl)
+    spec_z = domain.cast_circuit(spec)
+    pins = (Pin.gate("q0", 1), Pin.gate("q2", 1))
+    c_net = spec_z[spec.gates["c_new"].name]
+    not_c = domain.manager.not_(c_net)
+
+    def cand(net, node, trivial=False, from_spec=True):
+        return RewireCandidate(net=net, from_spec=from_spec, utility=0.5,
+                               z_function=node, trivial=trivial)
+
+    s1 = [cand("s", impl_z["s"], trivial=True, from_spec=False),
+          cand("c_new", c_net), cand("not_c", not_c)]
+    s2 = [cand("v1", impl_z["v1"], trivial=True, from_spec=False),
+          cand("c_new", c_net), cand("not_c", not_c)]
+    return impl, spec, domain, pins, (s1, s2), spec_z
+
+
+class TestExample2:
+    def test_xi_selects_c_and_not_c(self):
+        impl, spec, domain, pins, cands, spec_z = example2_setup()
+        choices = enumerate_rewiring_choices(
+            impl, "w_0", domain, pins, cands,
+            spec_z[spec.outputs["w_0"]], limit=16)
+        assert choices, "expected Xi(c) to admit the paper's rewiring"
+        nets = {(c1.net, c2.net) for c1, c2 in choices}
+        # the paper's Xi_k = c1^1 | c2^2: first point takes c, or the
+        # second point takes ~c (with any consistent partner)
+        assert all(c1 == "c_new" or c2 == "not_c" for c1, c2 in nets)
+        assert ("c_new", "not_c") in nets
+
+    def test_all_trivial_excluded(self):
+        impl, spec, domain, pins, cands, spec_z = example2_setup()
+        choices = enumerate_rewiring_choices(
+            impl, "w_0", domain, pins, cands,
+            spec_z[spec.outputs["w_0"]], limit=32)
+        for choice in choices:
+            assert not all(c.trivial for c in choice)
+
+    def test_limit_respected(self):
+        impl, spec, domain, pins, cands, spec_z = example2_setup()
+        choices = enumerate_rewiring_choices(
+            impl, "w_0", domain, pins, cands,
+            spec_z[spec.outputs["w_0"]], limit=1)
+        assert len(choices) == 1
+
+    def test_empty_when_no_candidate_fits(self):
+        impl, spec, domain, pins, cands, spec_z = example2_setup()
+        # strip the useful candidates; only trivial ones remain
+        trimmed = ([cands[0][0]], [cands[1][0]])
+        choices = enumerate_rewiring_choices(
+            impl, "w_0", domain, pins, trimmed,
+            spec_z[spec.outputs["w_0"]], limit=8)
+        assert choices == []
+
+    def test_cost_orders_choices(self):
+        impl, spec, domain, pins, cands, spec_z = example2_setup()
+
+        def cost(pin, cand):
+            return {"s": 0.0, "v1": 0.0, "c_new": 1.0,
+                    "not_c": 5.0}[cand.net]
+
+        choices = enumerate_rewiring_choices(
+            impl, "w_0", domain, pins, cands,
+            spec_z[spec.outputs["w_0"]], limit=8, cost_fn=cost)
+        totals = [sum(cost(p, c) for p, c in zip(pins, ch))
+                  for ch in choices]
+        assert totals == sorted(totals)
+
+
+class TestCostFunctions:
+    def test_default_cost_ordering(self):
+        triv = RewireCandidate("x", False, 0.0, 0, trivial=True)
+        impl_net = RewireCandidate("y", False, 0.5, 0)
+        spec_net = RewireCandidate("z", True, 0.5, 0, level=3)
+        p = Pin.gate("g", 0)
+        assert default_cost(p, triv) < default_cost(p, impl_net)
+        assert default_cost(p, impl_net) < default_cost(p, spec_net)
+
+    def test_clone_aware_cost_charges_new_gates_only(self):
+        spec = Circuit("s")
+        spec.add_inputs(["a", "b"])
+        g1 = spec.and_("a", "b", name="g1")
+        g2 = spec.not_(g1, name="g2")
+        spec.set_output("o", g2)
+        p = Pin.gate("x", 0)
+        fresh = make_clone_aware_cost(spec, {})
+        cached = make_clone_aware_cost(spec, {"g1": "eco$g1"})
+        cand = RewireCandidate("g2", True, 0.5, 0)
+        assert fresh(p, cand) > cached(p, cand)
+
+    def test_clone_aware_inputs_free(self):
+        spec = Circuit("s")
+        spec.add_inputs(["a"])
+        spec.set_output("o", "a")
+        cost = make_clone_aware_cost(spec, {})
+        cand = RewireCandidate("a", True, 0.5, 0)
+        assert cost(Pin.gate("x", 0), cand) == pytest.approx(1.2)
+
+    def test_level_term_added(self):
+        spec = Circuit("s")
+        spec.add_inputs(["a"])
+        spec.set_output("o", "a")
+        cost = make_clone_aware_cost(spec, {},
+                                     level_term=lambda p, c: 10.0)
+        cand = RewireCandidate("a", False, 0.5, 0)
+        assert cost(Pin.gate("x", 0), cand) == pytest.approx(11.0)

@@ -1,0 +1,30 @@
+"""Tests for the rectification report formatter."""
+
+from repro.eco.config import EcoConfig
+from repro.eco.engine import rectify
+from repro.eco.report import format_patch_report
+from repro.workloads.figures import example1_circuits
+
+
+class TestFormatPatchReport:
+    def test_contains_all_sections(self):
+        impl, spec = example1_circuits(width=2)
+        result = rectify(impl, spec, EcoConfig(num_samples=8))
+        text = format_patch_report(result, impl=impl, title="demo")
+        assert text.startswith("demo\n====")
+        assert "implementation :" in text
+        assert "patch          :" in text
+        assert "rewire operations:" in text
+        assert "search effort" in text
+
+    def test_without_impl(self):
+        impl, spec = example1_circuits(width=2)
+        result = rectify(impl, spec, EcoConfig(num_samples=8))
+        text = format_patch_report(result)
+        assert "implementation :" not in text
+        assert "runtime" in text
+
+    def test_empty_patch_message(self, tiny_adder):
+        result = rectify(tiny_adder, tiny_adder.copy())
+        text = format_patch_report(result)
+        assert "none (already equivalent)" in text

@@ -1,0 +1,125 @@
+"""Unit tests for gate types and word-level evaluation."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.gate import (
+    Gate,
+    GateType,
+    WORD_BITS,
+    WORD_MASK,
+    eval_gate,
+    eval_gate_bool,
+    SYMMETRIC_TYPES,
+)
+
+
+class TestArity:
+    def test_constants_are_nullary(self):
+        assert GateType.CONST0.arity_ok(0)
+        assert GateType.CONST1.arity_ok(0)
+        assert not GateType.CONST0.arity_ok(1)
+
+    def test_unary_gates(self):
+        for t in (GateType.NOT, GateType.BUF):
+            assert t.arity_ok(1)
+            assert not t.arity_ok(0)
+            assert not t.arity_ok(2)
+
+    def test_mux_is_ternary(self):
+        assert GateType.MUX.arity_ok(3)
+        assert not GateType.MUX.arity_ok(2)
+        assert not GateType.MUX.arity_ok(4)
+
+    @pytest.mark.parametrize("t", [GateType.AND, GateType.OR, GateType.XOR,
+                                   GateType.NAND, GateType.NOR,
+                                   GateType.XNOR])
+    def test_nary_gates(self, t):
+        assert t.arity_ok(1)
+        assert t.arity_ok(2)
+        assert t.arity_ok(7)
+        assert not t.arity_ok(0)
+
+    def test_gate_constructor_rejects_bad_arity(self):
+        with pytest.raises(NetlistError):
+            Gate("g", GateType.NOT, ["a", "b"])
+        with pytest.raises(NetlistError):
+            Gate("g", GateType.MUX, ["a", "b"])
+
+    def test_is_constant(self):
+        assert GateType.CONST0.is_constant
+        assert GateType.CONST1.is_constant
+        assert not GateType.AND.is_constant
+
+
+class TestEvalGate:
+    def test_constants(self):
+        assert eval_gate(GateType.CONST0, []) == 0
+        assert eval_gate(GateType.CONST1, []) == WORD_MASK
+
+    def test_buf_and_not(self):
+        w = 0b1010
+        assert eval_gate(GateType.BUF, [w]) == w
+        assert eval_gate(GateType.NOT, [w]) == (~w) & WORD_MASK
+
+    @pytest.mark.parametrize("a,b", [(0b0011, 0b0101)])
+    def test_two_input_truth_tables(self, a, b):
+        # bits 0..3 enumerate the four input combinations
+        assert eval_gate(GateType.AND, [a, b]) & 0xF == 0b0001
+        assert eval_gate(GateType.OR, [a, b]) & 0xF == 0b0111
+        assert eval_gate(GateType.XOR, [a, b]) & 0xF == 0b0110
+        assert eval_gate(GateType.NAND, [a, b]) & 0xF == 0b1110
+        assert eval_gate(GateType.NOR, [a, b]) & 0xF == 0b1000
+        assert eval_gate(GateType.XNOR, [a, b]) & 0xF == 0b1001
+
+    def test_mux_truth_table(self):
+        s, d0, d1 = 0b1100, 0b1010, 0b0110
+        # out = s ? d1 : d0
+        assert eval_gate(GateType.MUX, [s, d0, d1]) & 0xF == 0b0110
+
+    def test_nary_and(self):
+        assert eval_gate(GateType.AND, [0b111, 0b110, 0b101]) == 0b100
+
+    def test_nary_xor_parity(self):
+        assert eval_gate(GateType.XOR, [0b1, 0b1, 0b1]) & 1 == 1
+        assert eval_gate(GateType.XOR, [0b1, 0b1, 0b0]) & 1 == 0
+
+    def test_results_fit_in_word(self):
+        for t in GateType:
+            n = 0 if t.is_constant else (3 if t is GateType.MUX else
+                                         1 if t in (GateType.NOT, GateType.BUF)
+                                         else 2)
+            out = eval_gate(t, [WORD_MASK] * n)
+            assert 0 <= out <= WORD_MASK
+
+    def test_eval_gate_bool(self):
+        assert eval_gate_bool(GateType.AND, [True, True]) is True
+        assert eval_gate_bool(GateType.AND, [True, False]) is False
+        assert eval_gate_bool(GateType.NOT, [False]) is True
+        assert eval_gate_bool(GateType.MUX, [True, False, True]) is True
+
+
+class TestGateObject:
+    def test_copy_is_independent(self):
+        g = Gate("g", GateType.AND, ["a", "b"])
+        h = g.copy()
+        h.fanins[0] = "c"
+        assert g.fanins == ["a", "b"]
+
+    def test_equality_and_hash(self):
+        g1 = Gate("g", GateType.AND, ["a", "b"])
+        g2 = Gate("g", GateType.AND, ["a", "b"])
+        g3 = Gate("g", GateType.OR, ["a", "b"])
+        assert g1 == g2
+        assert hash(g1) == hash(g2)
+        assert g1 != g3
+
+    def test_repr_mentions_name_and_type(self):
+        g = Gate("mygate", GateType.NOR, ["a"])
+        assert "mygate" in repr(g)
+        assert "nor" in repr(g)
+
+    def test_symmetric_types_exclude_mux(self):
+        assert GateType.MUX not in SYMMETRIC_TYPES
+        assert GateType.AND in SYMMETRIC_TYPES
+        assert GateType.XNOR in SYMMETRIC_TYPES

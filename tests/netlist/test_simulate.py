@@ -1,0 +1,115 @@
+"""Unit and property tests for bit-parallel simulation."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NetlistError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate import WORD_BITS, WORD_MASK
+from repro.netlist.simulate import (
+    evaluate_outputs,
+    patterns_to_words,
+    random_patterns,
+    signature,
+    simulate,
+    simulate_words,
+    words_to_patterns,
+)
+from tests.conftest import make_random_circuit
+
+
+class TestSimulate:
+    def test_single_assignment(self, tiny_adder):
+        out = evaluate_outputs(tiny_adder,
+                               {"a": True, "b": True, "cin": False})
+        assert out == {"sum": False, "carry": True}
+
+    def test_full_adder_truth_table(self, tiny_adder):
+        for a, b, cin in itertools.product([0, 1], repeat=3):
+            out = evaluate_outputs(
+                tiny_adder, {"a": bool(a), "b": bool(b), "cin": bool(cin)})
+            total = a + b + cin
+            assert out["sum"] == bool(total & 1)
+            assert out["carry"] == bool(total >> 1)
+
+    def test_missing_input_raises(self, tiny_adder):
+        with pytest.raises(NetlistError):
+            simulate(tiny_adder, {"a": True})
+
+    def test_words_consistent_with_single(self):
+        c = make_random_circuit(3)
+        rng = random.Random(5)
+        words = random_patterns(c.inputs, rng)
+        values = simulate_words(c, words)
+        for bit in (0, 17, 63):
+            single = simulate(
+                c, {n: bool(words[n] >> bit & 1) for n in c.inputs})
+            for net, v in single.items():
+                assert bool(values[net] >> bit & 1) == v
+
+    def test_values_masked_to_word(self):
+        c = make_random_circuit(1)
+        words = {n: WORD_MASK for n in c.inputs}
+        for v in simulate_words(c, words).values():
+            assert 0 <= v <= WORD_MASK
+
+
+class TestPatternPacking:
+    def test_roundtrip(self):
+        inputs = ["a", "b", "c"]
+        rng = random.Random(0)
+        pats = [{n: bool(rng.getrandbits(1)) for n in inputs}
+                for _ in range(10)]
+        words = patterns_to_words(inputs, pats)
+        assert words_to_patterns(inputs, words, 10) == pats
+
+    def test_too_many_patterns(self):
+        inputs = ["a"]
+        pats = [{"a": False}] * (WORD_BITS + 1)
+        with pytest.raises(NetlistError):
+            patterns_to_words(inputs, pats)
+
+    def test_bit_positions(self):
+        words = patterns_to_words(["a"], [{"a": False}, {"a": True}])
+        assert words["a"] == 0b10
+
+
+class TestSignature:
+    def test_deterministic(self):
+        c = make_random_circuit(7)
+        assert signature(c, rounds=3) == signature(c, rounds=3)
+
+    def test_seed_changes_signature(self):
+        c = make_random_circuit(7)
+        assert signature(c, rounds=3, seed=1) != \
+            signature(c, rounds=3, seed=2)
+
+    def test_equal_functions_equal_signatures(self):
+        c = Circuit()
+        c.add_inputs(["a", "b"])
+        c.and_("a", "b", name="g1")
+        c.and_("b", "a", name="g2")
+        sigs = signature(c, rounds=2)
+        assert sigs["g1"] == sigs["g2"]
+
+    def test_covers_all_nets(self):
+        c = make_random_circuit(9)
+        sigs = signature(c, rounds=1)
+        assert set(sigs) == set(c.nets())
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), bit=st.integers(0, 63))
+def test_word_simulation_matches_boolean(seed, bit):
+    """Property: any bit lane of word simulation equals scalar simulation."""
+    c = make_random_circuit(seed % 50, n_inputs=4, n_gates=12, n_outputs=2)
+    rng = random.Random(seed)
+    words = random_patterns(c.inputs, rng)
+    lane = {n: bool(words[n] >> bit & 1) for n in c.inputs}
+    scalar = simulate(c, lane)
+    vector = simulate_words(c, words)
+    for net in c.nets():
+        assert scalar[net] == bool(vector[net] >> bit & 1)

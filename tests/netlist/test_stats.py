@@ -1,0 +1,30 @@
+"""Unit tests for circuit statistics."""
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.stats import CircuitStats, circuit_stats
+
+
+def test_counts_match_definition(tiny_adder):
+    st = circuit_stats(tiny_adder)
+    assert st.inputs == 3
+    assert st.outputs == 2
+    assert st.gates == 5
+    assert st.nets == 8
+    # sinks: every gate fanin plus every output port
+    assert st.sinks == sum(
+        len(g.fanins) for g in tiny_adder.gates.values()) + 2
+
+
+def test_empty_logic():
+    c = Circuit()
+    c.add_input("a")
+    c.set_output("o", "a")
+    st = circuit_stats(c)
+    assert st == CircuitStats(inputs=1, outputs=1, gates=0, nets=1, sinks=1)
+
+
+def test_row_renders_all_fields():
+    st = CircuitStats(1, 2, 3, 4, 5)
+    row = st.row()
+    for token in "1 2 3 4 5".split():
+        assert token in row.split()

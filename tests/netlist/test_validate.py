@@ -1,0 +1,66 @@
+"""Unit tests for well-formedness validation."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate import Gate, GateType
+from repro.netlist.validate import is_well_formed, validate, \
+    validation_problems
+
+
+def good() -> Circuit:
+    c = Circuit()
+    c.add_inputs(["a", "b"])
+    c.and_("a", "b", name="g")
+    c.set_output("o", "g")
+    return c
+
+
+class TestValidate:
+    def test_well_formed_circuit_passes(self):
+        validate(good())
+        assert is_well_formed(good())
+
+    def test_no_outputs_is_a_problem(self):
+        c = Circuit()
+        c.add_input("a")
+        assert any("no outputs" in p for p in validation_problems(c))
+
+    def test_dangling_fanin_detected(self):
+        c = good()
+        c.gates["g"].fanins[0] = "ghost"
+        assert not is_well_formed(c)
+        with pytest.raises(NetlistError):
+            validate(c)
+
+    def test_dangling_output_detected(self):
+        c = good()
+        c.outputs["o"] = "ghost"
+        assert any("dangling" in p for p in validation_problems(c))
+
+    def test_cycle_detected(self):
+        c = good()
+        c.or_("g", "a", name="h")
+        c.gates["g"].fanins[0] = "h"
+        assert any("cycle" in p for p in validation_problems(c))
+
+    def test_bad_arity_detected(self):
+        c = good()
+        # bypass the Gate constructor check by mutating fanins
+        c.gates["g"].fanins.append("a")
+        c.gates["g"].fanins.append("b")
+        object.__setattr__  # silence lint; Gate is slotted, mutate list ok
+        bad = Gate.__new__(Gate)
+        bad.name = "g"
+        bad.gtype = GateType.NOT
+        bad.fanins = ["a", "b"]
+        c.gates["g"] = bad
+        assert any("arity" in p for p in validation_problems(c))
+
+    def test_gate_key_mismatch(self):
+        c = good()
+        gate = c.gates.pop("g")
+        c.gates["renamed"] = gate
+        probs = validation_problems(c)
+        assert any("key" in p for p in probs)

@@ -1,0 +1,136 @@
+"""Tests for the word-level construction helpers."""
+
+import itertools
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.circuit import Circuit
+from repro.netlist.simulate import evaluate_outputs
+from repro.netlist.wordlevel import Word, constant_word, input_word
+
+
+def word_value(circuit, prefix, width, inputs):
+    out = evaluate_outputs(circuit, inputs)
+    return sum(out[f"{prefix}{k}"] << k for k in range(width))
+
+
+def input_bits(prefix, width, value):
+    return {f"{prefix}{k}": bool(value >> k & 1) for k in range(width)}
+
+
+class TestBitwiseOperators:
+    @pytest.mark.parametrize("op,fn", [
+        (lambda a, b: a & b, lambda x, y: x & y),
+        (lambda a, b: a | b, lambda x, y: x | y),
+        (lambda a, b: a ^ b, lambda x, y: x ^ y),
+    ])
+    def test_binary_ops(self, op, fn):
+        c = Circuit("w")
+        a = input_word(c, "a", 3)
+        b = input_word(c, "b", 3)
+        op(a, b).outputs("r")
+        for x, y in itertools.product(range(8), repeat=2):
+            ins = {**input_bits("a", 3, x), **input_bits("b", 3, y)}
+            assert word_value(c, "r", 3, ins) == fn(x, y)
+
+    def test_invert(self):
+        c = Circuit("w")
+        a = input_word(c, "a", 3)
+        (~a).outputs("r")
+        ins = input_bits("a", 3, 0b101)
+        assert word_value(c, "r", 3, ins) == 0b010
+
+    def test_broadcast_single_net(self):
+        c = Circuit("w")
+        a = input_word(c, "a", 3)
+        en = c.add_input("en")
+        (a & en).outputs("r")
+        ins = {**input_bits("a", 3, 0b111), "en": False}
+        assert word_value(c, "r", 3, ins) == 0
+
+    def test_width_mismatch_rejected(self):
+        c = Circuit("w")
+        a = input_word(c, "a", 3)
+        b = input_word(c, "b", 2)
+        with pytest.raises(NetlistError):
+            a & b
+
+
+class TestArithmetic:
+    def test_addition(self):
+        c = Circuit("w")
+        a = input_word(c, "a", 4)
+        b = input_word(c, "b", 4)
+        total, carry = a.add(b)
+        total.outputs("s")
+        c.set_output("cout", carry)
+        for x, y in itertools.product(range(16), repeat=2):
+            ins = {**input_bits("a", 4, x), **input_bits("b", 4, y)}
+            out = evaluate_outputs(c, ins)
+            got = word_value(c, "s", 4, ins) + (out["cout"] << 4)
+            assert got == x + y
+
+    def test_addition_with_carry_in(self):
+        c = Circuit("w")
+        a = input_word(c, "a", 2)
+        cin = c.add_input("cin")
+        total, _ = a.add(constant_word(c, 0, 2), carry_in=cin)
+        total.outputs("s")
+        ins = {**input_bits("a", 2, 1), "cin": True}
+        assert word_value(c, "s", 2, ins) == 2
+
+    def test_constant_word(self):
+        c = Circuit("w")
+        c.add_input("dummy")
+        constant_word(c, 0b10, 2).outputs("k")
+        assert word_value(c, "k", 2, {"dummy": False}) == 0b10
+
+
+class TestPredicatesAndMux:
+    def test_equals(self):
+        c = Circuit("w")
+        a = input_word(c, "a", 3)
+        b = input_word(c, "b", 3)
+        c.set_output("eq", a.equals(b))
+        for x, y in itertools.product(range(8), repeat=2):
+            ins = {**input_bits("a", 3, x), **input_bits("b", 3, y)}
+            assert evaluate_outputs(c, ins)["eq"] == (x == y)
+
+    def test_mux(self):
+        c = Circuit("w")
+        a = input_word(c, "a", 3)
+        b = input_word(c, "b", 3)
+        s = c.add_input("s")
+        a.mux(s, b).outputs("r")
+        ins = {**input_bits("a", 3, 5), **input_bits("b", 3, 2),
+               "s": True}
+        assert word_value(c, "r", 3, ins) == 2
+        ins["s"] = False
+        assert word_value(c, "r", 3, ins) == 5
+
+    def test_reductions(self):
+        c = Circuit("w")
+        a = input_word(c, "a", 4)
+        c.set_output("any", a.any())
+        c.set_output("par", a.parity())
+        for x in range(16):
+            out = evaluate_outputs(c, input_bits("a", 4, x))
+            assert out["any"] == (x != 0)
+            assert out["par"] == (bin(x).count("1") % 2 == 1)
+
+
+class TestWordObject:
+    def test_slicing(self):
+        c = Circuit("w")
+        a = input_word(c, "a", 4)
+        low = a[:2]
+        assert isinstance(low, Word)
+        assert len(low) == 2
+        assert a[3] == "a3"
+
+    def test_bits_must_exist(self):
+        c = Circuit("w")
+        c.add_input("a")
+        with pytest.raises(NetlistError):
+            Word(c, ["a", "ghost"])

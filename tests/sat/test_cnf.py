@@ -1,0 +1,74 @@
+"""Unit tests for the CNF container and DIMACS I/O."""
+
+import pytest
+
+from repro.errors import ParseError, SatError
+from repro.sat.cnf import Cnf, parse_dimacs, to_dimacs
+from repro.sat.solver import SAT, UNSAT, Solver
+
+
+class TestCnf:
+    def test_new_var_and_add_clause(self):
+        cnf = Cnf()
+        a, b = cnf.new_var(), cnf.new_var()
+        cnf.add_clause([a, -b])
+        assert cnf.num_vars == 2
+        assert len(cnf) == 1
+
+    def test_literal_out_of_range(self):
+        cnf = Cnf(1)
+        with pytest.raises(SatError):
+            cnf.add_clause([2])
+        with pytest.raises(SatError):
+            cnf.add_clause([0])
+
+    def test_load_into_solver(self):
+        cnf = Cnf(2)
+        cnf.add_clauses([[1, 2], [-1], [-2, 1]])
+        s = Solver()
+        s.new_var()  # pre-existing variable shifts the mapping
+        mapping = cnf.load_into(s)
+        assert mapping == [2, 3]
+        assert s.solve() == UNSAT
+
+    def test_repr(self):
+        assert "vars=2" in repr(Cnf(2))
+
+
+class TestDimacs:
+    def test_round_trip(self):
+        cnf = Cnf(3)
+        cnf.add_clauses([[1, -2], [3], [-1, 2, -3]])
+        back = parse_dimacs(to_dimacs(cnf))
+        assert back.num_vars == 3
+        assert back.clauses == cnf.clauses
+
+    def test_parse_with_comments(self):
+        text = "c a comment\np cnf 2 2\n1 2 0\nc mid\n-1 0\n"
+        cnf = parse_dimacs(text)
+        assert cnf.clauses == [(1, 2), (-1,)]
+
+    def test_multiline_clause(self):
+        text = "p cnf 3 1\n1 2\n3 0\n"
+        cnf = parse_dimacs(text)
+        assert cnf.clauses == [(1, 2, 3)]
+
+    def test_missing_trailing_zero_tolerated(self):
+        cnf = parse_dimacs("p cnf 2 1\n1 -2\n")
+        assert cnf.clauses == [(1, -2)]
+
+    @pytest.mark.parametrize("text", [
+        "1 2 0\n",                    # clause before problem line
+        "p cnf x y\n",                # malformed problem line
+        "p sat 2 1\n1 0\n",           # wrong format tag
+        "",                           # empty
+    ])
+    def test_parse_errors(self, text):
+        with pytest.raises(ParseError):
+            parse_dimacs(text)
+
+    def test_solved_end_to_end(self):
+        cnf = parse_dimacs("p cnf 2 3\n1 2 0\n-1 0\n-2 0\n")
+        s = Solver()
+        cnf.load_into(s)
+        assert s.solve() == UNSAT

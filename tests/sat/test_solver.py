@@ -1,0 +1,258 @@
+"""Unit and property tests for the CDCL SAT solver."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SatError
+from repro.sat.solver import SAT, UNKNOWN, UNSAT, Solver
+
+
+def brute_force_sat(n, clauses):
+    for bits in itertools.product([False, True], repeat=n):
+        if all(any(bits[abs(l) - 1] == (l > 0) for l in c)
+               for c in clauses):
+            return True
+    return False
+
+
+def make_solver(n, clauses):
+    s = Solver()
+    for _ in range(n):
+        s.new_var()
+    for c in clauses:
+        s.add_clause(c)
+    return s
+
+
+def pigeonhole(n_pigeons, n_holes):
+    s = Solver()
+    p = {}
+    for i in range(n_pigeons):
+        for h in range(n_holes):
+            p[i, h] = s.new_var()
+    for i in range(n_pigeons):
+        s.add_clause([p[i, h] for h in range(n_holes)])
+    for h in range(n_holes):
+        for i in range(n_pigeons):
+            for j in range(i + 1, n_pigeons):
+                s.add_clause([-p[i, h], -p[j, h]])
+    return s
+
+
+class TestBasics:
+    def test_empty_problem_is_sat(self):
+        assert Solver().solve() == SAT
+
+    def test_unit_clauses(self):
+        s = make_solver(2, [[1], [-2]])
+        assert s.solve() == SAT
+        assert s.model_value(1) is True
+        assert s.model_value(2) is False
+
+    def test_contradiction(self):
+        s = make_solver(1, [[1], [-1]])
+        assert s.solve() == UNSAT
+
+    def test_tautology_ignored(self):
+        s = make_solver(2, [[1, -1], [2]])
+        assert s.solve() == SAT
+
+    def test_duplicate_literals_collapsed(self):
+        s = make_solver(1, [[1, 1, 1]])
+        assert s.solve() == SAT
+        assert s.model_value(1) is True
+
+    def test_empty_clause_unsat(self):
+        s = Solver()
+        s.new_var()
+        assert s.add_clause([]) is False
+        assert s.solve() == UNSAT
+
+    def test_bad_literal(self):
+        s = Solver()
+        s.new_var()
+        with pytest.raises(SatError):
+            s.add_clause([0])
+        with pytest.raises(SatError):
+            s.add_clause([5])
+
+    def test_model_without_sat(self):
+        s = make_solver(1, [[1], [-1]])
+        s.solve()
+        with pytest.raises(SatError):
+            s.model()
+
+    def test_model_mapping(self):
+        s = make_solver(3, [[1, 2], [-1], [3]])
+        assert s.solve() == SAT
+        model = s.model()
+        assert model[1] is False
+        assert model[2] is True
+        assert model[3] is True
+
+
+class TestConflictDriven:
+    def test_pigeonhole_unsat(self):
+        s = pigeonhole(5, 4)
+        assert s.solve() == UNSAT
+        assert s.conflicts > 0
+
+    def test_pigeonhole_sat(self):
+        s = pigeonhole(4, 4)
+        assert s.solve() == SAT
+
+    def test_learning_restarts_and_reduction(self):
+        # large enough to trigger restarts (every 100 conflicts)
+        s = pigeonhole(7, 6)
+        assert s.solve() == UNSAT
+        assert s.conflicts > 100
+
+    def test_budget_unknown(self):
+        s = pigeonhole(7, 6)
+        assert s.solve(conflict_budget=5) == UNKNOWN
+        # solver remains usable afterwards
+        assert s.solve() == UNSAT
+
+    def test_solver_unusable_after_unsat(self):
+        s = make_solver(1, [[1], [-1]])
+        assert s.solve() == UNSAT
+        assert s.solve() == UNSAT
+
+
+class TestAssumptions:
+    def test_assumption_forces_branch(self):
+        s = make_solver(2, [[1, 2]])
+        assert s.solve(assumptions=[-1]) == SAT
+        assert s.model_value(2) is True
+
+    def test_conflicting_assumptions(self):
+        s = make_solver(2, [[1, 2]])
+        assert s.solve(assumptions=[-1, -2]) == UNSAT
+        # without assumptions still SAT
+        assert s.solve() == SAT
+
+    def test_assumption_contradicting_unit(self):
+        s = make_solver(1, [[1]])
+        assert s.solve(assumptions=[-1]) == UNSAT
+        assert s.solve(assumptions=[1]) == SAT
+
+    def test_incremental_reuse(self):
+        s = make_solver(3, [[1, 2, 3]])
+        for lits, expect in [([-1, -2], SAT), ([-1, -2, -3], UNSAT),
+                             ([3], SAT)]:
+            assert s.solve(assumptions=lits) == expect
+
+    def test_add_clause_between_solves(self):
+        s = make_solver(2, [[1, 2]])
+        assert s.solve() == SAT
+        s.add_clause([-1])
+        s.add_clause([-2])
+        assert s.solve() == UNSAT
+
+
+class TestRandomized:
+    def test_random_3cnf_matches_brute_force(self):
+        rng = random.Random(20190602)
+        for _ in range(120):
+            n = rng.randint(1, 9)
+            m = rng.randint(1, 40)
+            clauses = []
+            for _ in range(m):
+                k = min(rng.randint(1, 3), n)
+                vs = rng.sample(range(1, n + 1), k)
+                clauses.append([v if rng.random() < 0.5 else -v
+                                for v in vs])
+            s = make_solver(n, clauses)
+            expect = SAT if brute_force_sat(n, clauses) else UNSAT
+            got = s.solve()
+            assert got == expect, clauses
+            if got == SAT:
+                model = s.model()
+                assert all(
+                    any(model.get(abs(l), False) == (l > 0) for l in c)
+                    for c in clauses
+                ), clauses
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(
+    st.lists(st.integers(-5, 5).filter(lambda x: x != 0),
+             min_size=1, max_size=4),
+    min_size=1, max_size=25))
+def test_solver_agrees_with_brute_force(clauses):
+    """Property: CDCL result equals exhaustive enumeration."""
+    n = 5
+    s = make_solver(n, clauses)
+    expect = SAT if brute_force_sat(n, clauses) else UNSAT
+    assert s.solve() == expect
+
+
+class TestUnsatCore:
+    def test_core_excludes_irrelevant_assumptions(self):
+        s = make_solver(3, [[1, 2]])
+        assert s.solve(assumptions=[3, -1, -2]) == UNSAT
+        core = s.unsat_core()
+        assert set(core) == {-1, -2}
+
+    def test_core_through_implications(self):
+        s = make_solver(2, [[-1, -2]])  # x1 -> ~x2
+        assert s.solve(assumptions=[1, 2]) == UNSAT
+        assert set(s.unsat_core()) == {1, 2}
+
+    def test_core_single_assumption_against_formula(self):
+        s = make_solver(1, [[-1]])
+        assert s.solve(assumptions=[1]) == UNSAT
+        assert s.unsat_core() == [1]
+
+    def test_core_empty_for_plain_unsat(self):
+        s = make_solver(1, [[1], [-1]])
+        assert s.solve(assumptions=[]) == UNSAT
+        assert s.unsat_core() == []
+
+    def test_core_none_when_sat(self):
+        s = make_solver(1, [[1]])
+        assert s.solve(assumptions=[1]) == SAT
+        assert s.unsat_core() is None
+
+    def test_core_after_search_conflicts(self):
+        # a pigeonhole sub-problem forced by assumptions: place 3
+        # pigeons into 2 holes via assumption-enabled clauses
+        s = Solver()
+        p = {}
+        for i in range(3):
+            for h in range(2):
+                p[i, h] = s.new_var()
+        enable = s.new_var()
+        for i in range(3):
+            s.add_clause([-enable, p[i, 0], p[i, 1]])
+        for h in range(2):
+            for i in range(3):
+                for j in range(i + 1, 3):
+                    s.add_clause([-p[i, h], -p[j, h]])
+        assert s.solve(assumptions=[enable]) == UNSAT
+        assert s.unsat_core() == [enable]
+        assert s.solve(assumptions=[-enable]) == SAT
+
+    def test_core_assumptions_are_subset(self):
+        import random
+        rng = random.Random(4)
+        for _ in range(25):
+            n = rng.randint(2, 6)
+            clauses = []
+            for _ in range(rng.randint(2, 18)):
+                k = min(rng.randint(1, 3), n)
+                vs = rng.sample(range(1, n + 1), k)
+                clauses.append([v if rng.random() < .5 else -v
+                                for v in vs])
+            assumptions = [v if rng.random() < .5 else -v
+                           for v in range(1, n + 1)]
+            s = make_solver(n, clauses)
+            if s.solve(assumptions=assumptions) == UNSAT:
+                core = s.unsat_core()
+                assert set(core) <= set(assumptions)
+                # replaying only the core stays UNSAT
+                s2 = make_solver(n, clauses)
+                assert s2.solve(assumptions=core) == UNSAT

@@ -1,0 +1,52 @@
+"""Tests for the heavy/light synthesis scripts."""
+
+from repro.cec.equivalence import check_equivalence
+from repro.netlist.hashing import structural_hash, strash
+from repro.synth.scripts import optimize_heavy, optimize_light, run_script
+from tests.conftest import exhaustive_equivalent, make_random_circuit
+
+
+class TestScripts:
+    def test_light_preserves_function(self):
+        for seed in range(8):
+            c = make_random_circuit(seed)
+            assert exhaustive_equivalent(c, optimize_light(c)), seed
+
+    def test_heavy_preserves_function(self):
+        for seed in range(8):
+            c = make_random_circuit(seed)
+            assert check_equivalence(c, optimize_heavy(c, seed=seed)), seed
+
+    def test_heavy_changes_structure(self):
+        diverged = 0
+        for seed in range(6):
+            c = make_random_circuit(seed, n_gates=30)
+            h = optimize_heavy(c, seed=seed)
+            base = strash(c)
+            if structural_hash(h) != structural_hash(base):
+                diverged += 1
+        assert diverged >= 5  # the whole point of the heavy script
+
+    def test_heavy_seeds_differ(self):
+        c = make_random_circuit(9, n_gates=30)
+        h1 = optimize_heavy(c, seed=1)
+        h2 = optimize_heavy(c, seed=2)
+        assert structural_hash(h1) != structural_hash(h2)
+        assert check_equivalence(h1, h2)
+
+    def test_heavy_without_sweep(self):
+        c = make_random_circuit(3)
+        h = optimize_heavy(c, seed=1, sweep=False)
+        assert check_equivalence(c, h)
+
+    def test_run_script_composition(self):
+        c = make_random_circuit(2)
+        result = run_script(c, [strash, strash])
+        assert exhaustive_equivalent(c, result)
+
+    def test_io_names_preserved(self):
+        c = make_random_circuit(6)
+        for opt in (optimize_light, optimize_heavy):
+            r = opt(c)
+            assert r.inputs == c.inputs
+            assert set(r.outputs) == set(c.outputs)

@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.netlist import dumps_blif, loads_blif, read_blif, write_blif
+from repro.workloads.figures import example1_circuits
+from tests.conftest import exhaustive_equivalent
+
+
+@pytest.fixture
+def eco_files(tmp_path):
+    impl, spec = example1_circuits(width=2)
+    impl_path = str(tmp_path / "impl.blif")
+    spec_path = str(tmp_path / "spec.blif")
+    write_blif(impl, impl_path)
+    write_blif(spec, spec_path)
+    return impl_path, spec_path
+
+
+class TestStats:
+    def test_prints_counts(self, eco_files, capsys):
+        impl_path, _ = eco_files
+        assert main(["stats", impl_path]) == 0
+        out = capsys.readouterr().out
+        assert "gates" in out
+        assert "depth" in out
+
+
+class TestCec:
+    def test_equivalent(self, eco_files, capsys):
+        impl_path, _ = eco_files
+        assert main(["cec", impl_path, impl_path]) == 0
+        assert "EQUIVALENT" in capsys.readouterr().out
+
+    def test_not_equivalent_with_counterexample(self, eco_files, capsys):
+        impl_path, spec_path = eco_files
+        assert main(["cec", impl_path, spec_path]) == 1
+        out = capsys.readouterr().out
+        assert "NOT EQUIVALENT" in out
+        assert "counterexample" in out
+
+
+class TestSynth:
+    def test_heavy_script_round_trip(self, eco_files, tmp_path, capsys):
+        impl_path, _ = eco_files
+        out_path = str(tmp_path / "out.blif")
+        v_path = str(tmp_path / "out.v")
+        assert main(["synth", impl_path, "-o", out_path,
+                     "--script", "heavy", "--verilog", v_path]) == 0
+        original = read_blif(impl_path)
+        optimized = read_blif(out_path)
+        assert exhaustive_equivalent(original, optimized)
+        assert os.path.exists(v_path)
+
+
+class TestEco:
+    def test_syseco_end_to_end(self, eco_files, tmp_path, capsys):
+        impl_path, spec_path = eco_files
+        out_path = str(tmp_path / "patched.blif")
+        code = main(["eco", "--impl", impl_path, "--spec", spec_path,
+                     "-o", out_path, "--samples", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verified: True" in out
+        patched = read_blif(out_path)
+        spec = read_blif(spec_path)
+        assert exhaustive_equivalent(patched, spec)
+
+    @pytest.mark.parametrize("engine", ["deltasyn", "conemap"])
+    def test_baseline_engines(self, eco_files, engine, capsys):
+        impl_path, spec_path = eco_files
+        code = main(["eco", "--impl", impl_path, "--spec", spec_path,
+                     "--engine", engine])
+        assert code == 0
+        assert "verified: True" in capsys.readouterr().out
+
+
+class TestTables:
+    def test_single_case_table1(self, capsys):
+        assert main(["tables", "--table", "1", "--cases", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Table 2" not in out
+
+
+class TestErrors:
+    def test_parse_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.blif"
+        bad.write_text(".model m\n.gate nonsense\n")
+        assert main(["stats", str(bad)]) == 3
+        assert "error" in capsys.readouterr().err
+
+
+class TestDiagnose:
+    def test_diagnose_output(self, eco_files, capsys):
+        impl_path, spec_path = eco_files
+        assert main(["diagnose", "--impl", impl_path,
+                     "--spec", spec_path, "--suggest"]) == 0
+        out = capsys.readouterr().out
+        assert "failing outputs" in out
+        assert "suggested engine settings" in out
+
+
+class TestPatchOut:
+    def test_patch_netlist_written(self, eco_files, tmp_path, capsys):
+        impl_path, spec_path = eco_files
+        patch_path = str(tmp_path / "patch.blif")
+        code = main(["eco", "--impl", impl_path, "--spec", spec_path,
+                     "--patch-out", patch_path, "--samples", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rectification point" in out
+        patch = read_blif(patch_path)
+        assert patch.outputs  # at least one rectification point

@@ -1,0 +1,92 @@
+"""Tests for the static timing substrate."""
+
+import pytest
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.gate import GateType
+from repro.timing.delay_model import DEFAULT_DELAY_MODEL, DelayModel
+from repro.timing.sta import analyze, arrival_times, critical_path
+
+
+def chain(n: int) -> Circuit:
+    c = Circuit("chain")
+    c.add_inputs(["a", "b"])
+    acc = "a"
+    for i in range(n):
+        acc = c.and_(acc, "b", name=f"g{i}")
+    c.set_output("o", acc)
+    return c
+
+
+class TestDelayModel:
+    def test_inverter_faster_than_xor(self):
+        m = DEFAULT_DELAY_MODEL
+        assert m.gate_delay(GateType.NOT, 1, 1) < \
+            m.gate_delay(GateType.XOR, 2, 1)
+
+    def test_load_increases_delay(self):
+        m = DEFAULT_DELAY_MODEL
+        assert m.gate_delay(GateType.AND, 2, 5) > \
+            m.gate_delay(GateType.AND, 2, 1)
+
+    def test_wide_gates_charged(self):
+        m = DEFAULT_DELAY_MODEL
+        assert m.gate_delay(GateType.AND, 4, 1) > \
+            m.gate_delay(GateType.AND, 2, 1)
+
+
+class TestArrivalTimes:
+    def test_inputs_at_zero(self):
+        arr = arrival_times(chain(3))
+        assert arr["a"] == 0.0
+        assert arr["b"] == 0.0
+
+    def test_monotone_along_chain(self):
+        arr = arrival_times(chain(4))
+        values = [arr[f"g{i}"] for i in range(4)]
+        assert values == sorted(values)
+        assert values[0] > 0
+
+    def test_hand_computed_chain(self):
+        model = DelayModel(load_ps=0.0, extra_input_ps=0.0)
+        arr = arrival_times(chain(3), model)
+        unit = model.intrinsic[GateType.AND]
+        assert arr["g2"] == pytest.approx(3 * unit)
+
+
+class TestAnalyze:
+    def test_default_period_closes_timing(self):
+        report = analyze(chain(5))
+        assert report.worst_slack == pytest.approx(0.0)
+        assert report.period == report.max_arrival
+
+    def test_explicit_period_slack(self):
+        report = analyze(chain(5), period=1000.0)
+        assert report.worst_slack == pytest.approx(
+            1000.0 - report.max_arrival)
+
+    def test_worst_output(self):
+        c = chain(3)
+        c.set_output("fast", "g0")
+        report = analyze(c)
+        assert report.worst_output == "o"
+        assert report.output_slack["fast"] > report.output_slack["o"]
+
+
+class TestCriticalPath:
+    def test_path_spans_input_to_output(self):
+        c = chain(4)
+        path = critical_path(c)
+        assert path[0] in c.inputs
+        assert path[-1] == c.outputs["o"]
+
+    def test_path_is_connected(self):
+        c = chain(4)
+        path = critical_path(c)
+        for upstream, downstream in zip(path, path[1:]):
+            assert upstream in c.gates[downstream].fanins
+
+    def test_empty_outputs(self):
+        c = Circuit()
+        c.add_input("a")
+        assert critical_path(c) == []
