@@ -20,6 +20,7 @@ Quickstart::
 from repro.netlist import Circuit, Pin, GateType
 from repro.eco import SysEco, EcoConfig, rectify, RectificationResult
 from repro.cec import check_equivalence
+from repro.runtime import FaultInjector, RunCounters
 
 __version__ = "0.1.0"
 
@@ -32,5 +33,7 @@ __all__ = [
     "rectify",
     "RectificationResult",
     "check_equivalence",
+    "FaultInjector",
+    "RunCounters",
     "__version__",
 ]

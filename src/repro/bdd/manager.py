@@ -28,9 +28,15 @@ class BddManager:
             would exceed this bound; ``None`` disables the check.  The
             ECO engine uses this as part of its resource-constrained
             symbolic computation.
+        node_hook: optional callback invoked with the current node
+            count every 4096 allocations.  The run supervisor installs
+            its deadline checkpoint here so long symbolic computations
+            stay interruptible; the hook may raise to abort the
+            operation in progress.
     """
 
-    def __init__(self, num_vars: int = 0, node_limit: Optional[int] = None):
+    def __init__(self, num_vars: int = 0, node_limit: Optional[int] = None,
+                 node_hook: Optional[Callable[[int], None]] = None):
         # parallel arrays indexed by node id; slots 0/1 are terminals
         self._var: List[int] = [-1, -1]
         self._lo: List[int] = [FALSE, TRUE]
@@ -39,6 +45,7 @@ class BddManager:
         self._cache: Dict[Tuple, int] = {}
         self._nvars = 0
         self.node_limit = node_limit
+        self.node_hook = node_hook
         for _ in range(num_vars):
             self.add_var()
 
@@ -89,6 +96,8 @@ class BddManager:
             self._lo.append(lo)
             self._hi.append(hi)
             self._unique[key] = node
+            if self.node_hook is not None and not (node & 0xFFF):
+                self.node_hook(node)
         return node
 
     def top_var(self, node: int) -> int:

@@ -132,6 +132,10 @@ def _cmd_eco(args: argparse.Namespace) -> int:
             level_aware=args.level_aware,
             resynthesis=args.resynthesis,
             seed=args.seed,
+            deadline_s=args.deadline,
+            total_sat_budget=args.total_sat_budget,
+            total_bdd_nodes=args.total_bdd_nodes,
+            degrade_on_budget=args.degrade_on_budget,
         ))
     elif args.engine == "deltasyn":
         engine = DeltaSyn()
@@ -251,6 +255,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resynthesis", action="store_true",
                    help="run the rectification-logic resynthesis pass")
     p.add_argument("--seed", type=int, default=2019)
+    p.add_argument("--deadline", type=float, default=None, dest="deadline",
+                   metavar="SECONDS",
+                   help="wall-clock deadline of the run; on expiry the "
+                        "partial patch is kept and remaining outputs are "
+                        "force-completed via the guaranteed fallback")
+    p.add_argument("--total-sat-budget", type=int, default=None,
+                   metavar="CONFLICTS",
+                   help="aggregate SAT conflict budget across the run")
+    p.add_argument("--total-bdd-nodes", type=int, default=None,
+                   metavar="NODES",
+                   help="aggregate BDD node budget across the run")
+    strictness = p.add_mutually_exclusive_group()
+    strictness.add_argument(
+        "--degrade-on-budget", dest="degrade_on_budget",
+        action="store_true", default=True,
+        help="degrade gracefully when a run budget is exhausted "
+             "(default)")
+    strictness.add_argument(
+        "--strict", dest="degrade_on_budget", action="store_false",
+        help="raise instead of degrading on budget exhaustion")
     p.set_defaults(func=_cmd_eco)
 
     p = sub.add_parser("diagnose",

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 
 @dataclass
@@ -64,6 +65,36 @@ class EcoConfig:
             rewiring must fix the whole group (addresses the paper's
             single-output-view limitation; groups of this size at most).
         seed: randomization seed (sampling, simulation).
+
+    Run supervision (see ``repro.runtime`` and docs/architecture.md):
+
+        deadline_s: wall-clock deadline of one ``rectify`` run in
+            seconds (``None`` = unlimited).  On expiry the run degrades
+            gracefully or, with ``degrade_on_budget=False``, raises.
+        total_sat_budget: aggregate SAT conflict cap across all
+            supervised validation calls of a run (``None`` = unlimited;
+            ``sat_budget`` still caps each individual call).
+        total_bdd_nodes: aggregate BDD node cap across all symbolic
+            sessions of a run (``None`` = unlimited; ``bdd_node_limit``
+            still caps each session).
+        max_output_attempts: symbolic-search attempts (pin-shrink
+            retries, CEGAR rounds) allowed per failing output before
+            the engine stops searching it and falls back.
+        sat_budget_initial: starting per-call conflict budget of the
+            adaptive escalation policy (``None`` derives
+            ``sat_budget // 8``); escalated geometrically on UNKNOWN.
+        sat_escalation_factor: geometric growth of the per-call budget
+            between attempts of one validation.
+        sat_escalation_attempts: attempts per validation call before
+            the answer is accepted as UNKNOWN.
+        sat_deescalate_after: consecutive unresolved calls after which
+            the starting budget is halved (de-escalation).
+        degrade_on_budget: when a run-level budget (deadline, total SAT
+            conflicts, total BDD nodes) is exhausted, checkpoint the
+            partial patch and force-complete the remaining failing
+            outputs via the guaranteed fallback, returning a
+            ``degraded=True`` result; ``False`` = strict mode, raise
+            :class:`~repro.errors.ResourceBudgetExceeded` instead.
     """
 
     num_samples: int = 16
@@ -87,13 +118,35 @@ class EcoConfig:
     cegar_refinement: bool = True
     joint_outputs: int = 1
     seed: int = 2019
+    deadline_s: Optional[float] = None
+    total_sat_budget: Optional[int] = None
+    total_bdd_nodes: Optional[int] = None
+    max_output_attempts: int = 8
+    sat_budget_initial: Optional[int] = None
+    sat_escalation_factor: float = 4.0
+    sat_escalation_attempts: int = 3
+    sat_deescalate_after: int = 3
+    degrade_on_budget: bool = True
 
     def __post_init__(self) -> None:
-        if self.num_samples < 1:
-            raise ValueError("num_samples must be positive")
-        if self.max_points < 1:
-            raise ValueError("max_points must be positive")
+        for name in ("num_samples", "max_points", "max_candidate_pins",
+                     "max_rewire_candidates", "prime_limit",
+                     "pointset_limit", "choice_limit", "sat_budget",
+                     "bdd_node_limit", "sim_rounds", "joint_outputs",
+                     "max_output_attempts", "sat_escalation_attempts",
+                     "sat_deescalate_after"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be positive")
         if not (self.use_impl_nets or self.use_spec_nets):
             raise ValueError("at least one rewiring-net source is required")
         if not 0.0 <= self.error_bias <= 1.0:
             raise ValueError("error_bias must be in [0, 1]")
+        if self.exact_domain_max_inputs < 0:
+            raise ValueError("exact_domain_max_inputs must be >= 0")
+        for name in ("deadline_s", "total_sat_budget", "total_bdd_nodes",
+                     "sat_budget_initial"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive when set")
+        if self.sat_escalation_factor <= 1.0:
+            raise ValueError("sat_escalation_factor must exceed 1")

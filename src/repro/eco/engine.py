@@ -17,6 +17,15 @@ A guaranteed fallback (rewiring the output port itself to a clone of
 the revised function — the completeness argument of Section 3.3)
 handles outputs the search cannot fix within budget.  Afterwards the
 patch inputs are refined by sweeping against existing logic.
+
+Every resource-bounded step runs under a per-run
+:class:`~repro.runtime.supervisor.RunSupervisor`: a wall-clock deadline
+and aggregate SAT/BDD budgets, adaptive per-call SAT escalation, and —
+unless strict mode is configured — *graceful degradation*: when a
+run-level budget blows mid-search, the partial patch is kept and every
+remaining failing output is force-completed via the Section 3.3
+fallback, yielding a fully verified but ``degraded`` result instead of
+an exception.
 """
 
 from __future__ import annotations
@@ -26,7 +35,11 @@ import random
 import time
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.errors import BddNodeLimitError, EcoError
+from repro.errors import (
+    BddNodeLimitError,
+    EcoError,
+    ResourceBudgetExceeded,
+)
 from repro.bdd.manager import BddManager
 from repro.netlist.circuit import Circuit, Pin
 from repro.netlist.gate import WORD_MASK
@@ -54,6 +67,8 @@ from repro.eco.validate import (
     ValidationOutcome,
     validate_rewire,
 )
+from repro.runtime.faultinject import FaultInjector
+from repro.runtime.supervisor import RunSupervisor
 
 
 logger = logging.getLogger("repro.eco")
@@ -63,26 +78,37 @@ class SysEco:
     """Rewire-based ECO rectification engine.
 
     One engine instance carries a configuration and can rectify many
-    designs; all state of a run lives in the run itself.
+    designs; all state of a run lives in its
+    :class:`~repro.runtime.supervisor.RunSupervisor`, so one engine can
+    serve concurrent ``rectify`` calls.
     """
 
     def __init__(self, config: Optional[EcoConfig] = None):
         self.config = config or EcoConfig()
 
     # ------------------------------------------------------------------
-    def rectify(self, impl: Circuit, spec: Circuit) -> RectificationResult:
+    def rectify(self, impl: Circuit, spec: Circuit,
+                injector: Optional[FaultInjector] = None
+                ) -> RectificationResult:
         """Rectify ``impl`` to match ``spec``; returns the result record.
 
         Both circuits must share primary-input and output-port names.
         Raises :class:`EcoError` when the final verification cannot
-        prove full equivalence.
+        prove full equivalence.  When a run-level budget (deadline,
+        aggregate SAT conflicts, aggregate BDD nodes) is exhausted the
+        run degrades gracefully — remaining failing outputs are
+        force-completed via the guaranteed fallback and the result is
+        marked ``degraded`` — unless ``config.degrade_on_budget`` is
+        False, in which case :class:`ResourceBudgetExceeded` propagates.
+
+        ``injector`` arms deterministic faults at the supervised call
+        sites (tests of the degradation paths use this).
         """
         started = time.time()
         self._check_interfaces(impl, spec)
-        rng = random.Random(self.config.seed)
-        self._counters = {"choices": 0, "sim_rejects": 0,
-                          "sat_validations": 0, "point_sets": 0,
-                          "fallbacks": 0}
+        config = self.config
+        rng = random.Random(config.seed)
+        run = RunSupervisor.from_config(config, injector=injector)
 
         work = impl.copy()
         patch = Patch()
@@ -97,20 +123,35 @@ class SysEco:
             port = failing[0]
             outcome = None
             how = "rewire"
-            if self.config.joint_outputs > 1 and len(failing) > 1:
-                group = self._joint_group(work, failing)
-                if len(group) > 1:
-                    outcome = self._rectify_joint(work, spec, group,
-                                                  failing, patch, rng)
-                    if outcome is not None:
-                        how = "joint-rewire"
-            if outcome is None:
-                outcome = self._rectify_output(work, spec, port, failing,
-                                               patch, rng)
+            if not run.degraded:
+                try:
+                    run.checkpoint()
+                    if config.joint_outputs > 1 and len(failing) > 1:
+                        group = self._joint_group(work, failing)
+                        if len(group) > 1:
+                            outcome = self._rectify_joint(
+                                work, spec, group, failing, patch, rng,
+                                run=run)
+                            if outcome is not None:
+                                how = "joint-rewire"
+                    if outcome is None:
+                        outcome = self._rectify_output(
+                            work, spec, port, failing, patch, rng, run)
+                except ResourceBudgetExceeded as exc:
+                    if not config.degrade_on_budget:
+                        raise
+                    run.mark_degraded(str(exc))
+                    logger.warning(
+                        "budget exhausted on output %s; degrading: "
+                        "remaining outputs force-completed via fallback",
+                        port)
+                    outcome = None
             if outcome is None:
                 outcome = self._fallback(work, spec, port, failing, patch)
-                how = "fallback"
-                self._counters["fallbacks"] += 1
+                how = "fallback-degraded" if run.degraded else "fallback"
+                run.counters.fallbacks += 1
+                if run.degraded:
+                    run.counters.degraded_outputs += 1
             logger.info(
                 "output %s: %s with %d op(s), %d cloned gate(s), "
                 "fixes %s", port, how, len(outcome.committed_ops),
@@ -134,20 +175,23 @@ class SysEco:
             resubs, patch_gates = resubstitute_patch(
                 work, patch.cloned_gates, seed=self.config.seed)
             patch.cloned_gates = patch_gates
-            self._counters["resubstitutions"] = resubs
+            run.counters.resubstitutions = resubs
 
         verification = check_equivalence(work, spec)
         if verification.equivalent is not True:
             raise EcoError(
                 "final verification failed; counterexample: "
                 f"{verification.counterexample}")
+        logger.info("run summary: %s", run.summary())
         return RectificationResult(
             patched=work,
             patch=patch,
             verified_outputs=tuple(sorted(work.outputs)),
             runtime_seconds=time.time() - started,
             per_output=per_output,
-            counters=dict(self._counters),
+            counters=run.counters,
+            degraded=run.degraded,
+            degrade_reason=run.degrade_reason,
         )
 
     # ------------------------------------------------------------------
@@ -170,7 +214,8 @@ class SysEco:
     # ------------------------------------------------------------------
     def _rectify_output(self, work: Circuit, spec: Circuit, port: str,
                         failing: Sequence[str], patch: Patch,
-                        rng: random.Random) -> Optional["_Commit"]:
+                        rng: random.Random,
+                        run: RunSupervisor) -> Optional["_Commit"]:
         """Steps 1-5 of the flow for one failing output."""
         config = self.config
         samples = self._exact_domain_samples(work, spec, port)
@@ -184,39 +229,42 @@ class SysEco:
             return None
 
         commit = self._search_at_scale(work, spec, port, failing, patch,
-                                       samples)
+                                       samples, run)
         if commit is not None or exact:
             return commit
 
         # counterexample-guided refinement: every sampled candidate was
         # refuted on the full domain; fold the refuting assignments in
         # and search once more on the sharper domain
-        if config.cegar_refinement and self._cegar_cex:
+        if config.cegar_refinement and run.cegar_cex:
             seen = {tuple(sorted(s.items())) for s in samples}
             refined = list(samples)
-            for cex in self._cegar_cex:
+            for cex in run.cegar_cex:
                 key = tuple(sorted(cex.items()))
                 if key not in seen and len(refined) < 64:
                     seen.add(key)
                     refined.append(cex)
             if len(refined) > len(samples):
-                self._counters["cegar_rounds"] = \
-                    self._counters.get("cegar_rounds", 0) + 1
+                run.counters.cegar_rounds += 1
                 return self._search_at_scale(work, spec, port, failing,
-                                             patch, refined)
+                                             patch, refined, run)
         return None
 
     def _search_at_scale(self, work: Circuit, spec: Circuit, port: str,
                          failing: Sequence[str], patch: Patch,
-                         samples: List[Dict[str, bool]]
-                         ) -> Optional["_Commit"]:
+                         samples: List[Dict[str, bool]],
+                         run: RunSupervisor) -> Optional["_Commit"]:
         """Run the symbolic search, shrinking the pin set on BDD blowup."""
-        self._cegar_cex: List[Dict[str, bool]] = []
+        run.cegar_cex = []
         max_pins = self.config.max_candidate_pins
         while max_pins >= 4:
+            if not run.note_attempt(port):
+                logger.debug("output %s: attempt cap reached", port)
+                return None
             try:
                 return self._search_with_domain(
-                    work, spec, port, failing, patch, samples, max_pins)
+                    work, spec, port, failing, patch, samples, max_pins,
+                    run)
             except BddNodeLimitError:
                 max_pins //= 2  # shrink the symbolic problem and retry
         return None
@@ -246,10 +294,27 @@ class SysEco:
     def _search_with_domain(self, work: Circuit, spec: Circuit, port: str,
                             failing: Sequence[str], patch: Patch,
                             samples: List[Dict[str, bool]],
-                            max_pins: int) -> Optional["_Commit"]:
+                            max_pins: int,
+                            run: RunSupervisor) -> Optional["_Commit"]:
         config = self.config
-        manager = BddManager(node_limit=config.bdd_node_limit)
-        domain = SamplingDomain(manager, samples, inputs=work.inputs)
+        manager = BddManager(
+            node_limit=run.open_bdd(config.bdd_node_limit),
+            node_hook=run.node_hook)
+        try:
+            return self._search_in_manager(
+                work, spec, port, failing, patch, samples, max_pins,
+                run, manager)
+        finally:
+            run.close_bdd(manager)
+
+    def _search_in_manager(self, work: Circuit, spec: Circuit, port: str,
+                           failing: Sequence[str], patch: Patch,
+                           samples: List[Dict[str, bool]],
+                           max_pins: int, run: RunSupervisor,
+                           manager: BddManager) -> Optional["_Commit"]:
+        config = self.config
+        domain = SamplingDomain(manager, samples, inputs=work.inputs,
+                                checkpoint=run.checkpoint)
         impl_z = domain.cast_circuit(work)
         spec_z = domain.cast_circuit(spec)
 
@@ -280,14 +345,16 @@ class SysEco:
             point_sets = feasible_point_sets(
                 work, port, domain, candidate_pins, spec_value, m,
                 prime_limit=config.prime_limit,
-                pointset_limit=config.pointset_limit)
-            self._counters["point_sets"] += len(point_sets)
+                pointset_limit=config.pointset_limit,
+                checkpoint=run.checkpoint)
+            run.counters.point_sets += len(point_sets)
             for pins in point_sets:
+                run.checkpoint()
                 cand_lists = [ctx.candidates_for_pin(p) for p in pins]
                 choices = enumerate_rewiring_choices(
                     work, port, domain, pins, cand_lists, spec_value,
                     limit=config.choice_limit, cost_fn=cost_fn)
-                self._counters["choices"] += len(choices)
+                run.counters.choices += len(choices)
                 # choices are cost-ordered; the simulation screen drops
                 # sampling false positives cheaply, and only the first
                 # few survivors per point-set get a SAT proof
@@ -303,16 +370,17 @@ class SysEco:
                     if not ops:
                         continue
                     if not sim_filter.passes(ops, port, failing):
-                        self._counters["sim_rejects"] += 1
+                        run.counters.sim_rejects += 1
                         continue
                     sat_tried += 1
-                    self._counters["sat_validations"] += 1
+                    run.counters.sat_validations += 1
                     outcome = validate_rewire(
                         work, spec, ops, failing, patch.clone_map,
-                        sat_budget=config.sat_budget, target=port)
+                        sat_budget=config.sat_budget, target=port,
+                        run=run)
                     if not outcome.valid and \
                             outcome.target_counterexample is not None:
-                        self._cegar_cex.append(
+                        run.cegar_cex.append(
                             outcome.target_counterexample)
                     validations += 1
                     if outcome.valid and port in outcome.fixed:
@@ -354,12 +422,15 @@ class SysEco:
 
     def _rectify_joint(self, work: Circuit, spec: Circuit,
                        group: Sequence[str], failing: Sequence[str],
-                       patch: Patch,
-                       rng: random.Random) -> Optional["_Commit"]:
+                       patch: Patch, rng: random.Random,
+                       run: Optional[RunSupervisor] = None
+                       ) -> Optional["_Commit"]:
         """One point-set and rewiring fixing a whole output group."""
         from repro.eco.choices import enumerate_rewiring_choices_joint
         from repro.eco.points import feasible_point_sets_joint
 
+        if run is None:
+            run = RunSupervisor.from_config(self.config)
         config = self.config
         per_port = max(2, config.num_samples // len(group))
         samples: List[Dict[str, bool]] = []
@@ -375,9 +446,13 @@ class SysEco:
             return None
         samples = samples[:64]
 
+        manager: Optional[BddManager] = None
         try:
-            manager = BddManager(node_limit=config.bdd_node_limit)
-            domain = SamplingDomain(manager, samples, inputs=work.inputs)
+            manager = BddManager(
+                node_limit=run.open_bdd(config.bdd_node_limit),
+                node_hook=run.node_hook)
+            domain = SamplingDomain(manager, samples, inputs=work.inputs,
+                                    checkpoint=run.checkpoint)
             impl_z = domain.cast_circuit(work)
             spec_z = domain.cast_circuit(spec)
             input_index = {n: i for i, n in enumerate(work.inputs)}
@@ -409,7 +484,8 @@ class SysEco:
                 point_sets = feasible_point_sets_joint(
                     work, spec_values, domain, pins, m,
                     prime_limit=config.prime_limit,
-                    pointset_limit=config.pointset_limit)
+                    pointset_limit=config.pointset_limit,
+                    checkpoint=run.checkpoint)
                 for point_set in point_sets:
                     cand_lists = [ctx.candidates_for_pin(p)
                                   for p in point_set]
@@ -429,7 +505,7 @@ class SysEco:
                         outcome = validate_rewire(
                             work, spec, ops, failing, patch.clone_map,
                             sat_budget=config.sat_budget,
-                            target=group[0])
+                            target=group[0], run=run)
                         if outcome.valid and \
                                 set(group) <= set(outcome.fixed):
                             # economy guard: a joint commit must beat
@@ -446,24 +522,22 @@ class SysEco:
                             if best is None or commit.score > best.score:
                                 best = commit
                             if not commit.outcome.new_gates:
-                                self._counters["joint_commits"] = \
-                                    self._counters.get(
-                                        "joint_commits", 0) + 1
+                                run.counters.joint_commits += 1
                                 return best
                         if validations >= 6:
                             if best is not None:
-                                self._counters["joint_commits"] = \
-                                    self._counters.get(
-                                        "joint_commits", 0) + 1
+                                run.counters.joint_commits += 1
                             return best
                 if best is not None:
                     break
             if best is not None:
-                self._counters["joint_commits"] = \
-                    self._counters.get("joint_commits", 0) + 1
+                run.counters.joint_commits += 1
             return best
         except BddNodeLimitError:
             return None  # joint problem too big; single-output path
+        finally:
+            if manager is not None:
+                run.close_bdd(manager)
 
     # ------------------------------------------------------------------
     def _make_sim_filter(self, work: Circuit, spec: Circuit,
@@ -569,7 +643,12 @@ class SysEco:
     def _fallback(self, work: Circuit, spec: Circuit, port: str,
                   failing: Sequence[str], patch: Patch) -> "_Commit":
         """Completeness fallback: drive the output port from a clone of
-        the revised function (always valid by Proposition 1)."""
+        the revised function (always valid by Proposition 1).
+
+        Deliberately unsupervised: this is the path degradation relies
+        on, so it must complete regardless of budgets (no conflict
+        limit, no deadline check).
+        """
         ops = [RewireOp(Pin.output(port), spec.outputs[port],
                         from_spec=True)]
         outcome = validate_rewire(work, spec, ops, failing,
@@ -614,6 +693,8 @@ class _Commit:
 
 
 def rectify(impl: Circuit, spec: Circuit,
-            config: Optional[EcoConfig] = None) -> RectificationResult:
+            config: Optional[EcoConfig] = None,
+            injector: Optional[FaultInjector] = None
+            ) -> RectificationResult:
     """Convenience one-shot: ``SysEco(config).rectify(impl, spec)``."""
-    return SysEco(config).rectify(impl, spec)
+    return SysEco(config).rectify(impl, spec, injector=injector)

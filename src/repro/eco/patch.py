@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.netlist.circuit import Circuit, Pin
 from repro.netlist.gate import GateType
+from repro.runtime.counters import RunCounters
 
 
 @dataclass(frozen=True)
@@ -191,7 +192,16 @@ class RectificationResult:
         verified_outputs: ports proven equivalent to the spec.
         runtime_seconds: wall-clock time of the rectification.
         per_output: for each initially failing port, how it was fixed
-            ('rewire', 'fixed-by-earlier', 'fallback').
+            ('rewire', 'joint-rewire', 'fixed-by-earlier', 'fallback',
+            or 'fallback-degraded' when a budget ran out first).
+        counters: typed per-run telemetry (search effort + supervision);
+            supports mapping-style access for the ablation benches.
+        degraded: True when a run-level budget (deadline, aggregate SAT
+            conflicts, aggregate BDD nodes) was exhausted and remaining
+            outputs were force-completed via the guaranteed fallback.
+            The patched circuit is still proven equivalent — degradation
+            affects patch quality, never correctness.
+        degrade_reason: human-readable cause of the degradation.
     """
 
     patched: Circuit
@@ -199,9 +209,9 @@ class RectificationResult:
     verified_outputs: Tuple[str, ...]
     runtime_seconds: float
     per_output: Dict[str, str] = field(default_factory=dict)
-    #: engine telemetry: choices examined, simulation-screen rejects,
-    #: SAT validations, point-sets enumerated (ablation benches read it)
-    counters: Dict[str, int] = field(default_factory=dict)
+    counters: RunCounters = field(default_factory=RunCounters)
+    degraded: bool = False
+    degrade_reason: Optional[str] = None
 
     def stats(self) -> PatchStats:
         return self.patch.stats(self.patched)

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import itertools
 import math
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import EcoError
 from repro.bdd.manager import BddManager, FALSE, TRUE
@@ -233,6 +233,7 @@ def feasible_point_sets(impl: Circuit, port: str, domain: SamplingDomain,
                         spec_value: int, num_points: int,
                         prime_limit: int = 8,
                         pointset_limit: int = 12,
+                        checkpoint: Optional[Callable[[], None]] = None,
                         ) -> List[Tuple[Pin, ...]]:
     """Candidate rectification point-sets for one failing output.
 
@@ -241,10 +242,15 @@ def feasible_point_sets(impl: Circuit, port: str, domain: SamplingDomain,
     ``H(t)`` computed in the sampling domain.  An empty list means no
     point-set of size ``num_points`` over these pins can rectify the
     sampled behaviour — callers grow ``num_points`` or widen the pins.
+
+    ``checkpoint``, when given, is invoked before the symbolic
+    computation and once per expanded prime cube; the run supervisor
+    passes its deadline check here.
     """
     return feasible_point_sets_joint(
         impl, {port: spec_value}, domain, candidate_pins, num_points,
-        prime_limit=prime_limit, pointset_limit=pointset_limit)
+        prime_limit=prime_limit, pointset_limit=pointset_limit,
+        checkpoint=checkpoint)
 
 
 def feasible_point_sets_joint(impl: Circuit,
@@ -254,6 +260,7 @@ def feasible_point_sets_joint(impl: Circuit,
                               num_points: int,
                               prime_limit: int = 8,
                               pointset_limit: int = 12,
+                              checkpoint: Optional[Callable[[], None]] = None,
                               ) -> List[Tuple[Pin, ...]]:
     """Point-sets that rectify *all* given outputs simultaneously.
 
@@ -263,6 +270,8 @@ def feasible_point_sets_joint(impl: Circuit,
     view 'may occasionally overlook candidates that are more economical
     for multiple outputs'.
     """
+    if checkpoint is not None:
+        checkpoint()
     manager = domain.manager
     ports = list(spec_values)
     y_vars = [manager.add_var() for _ in range(num_points)]
@@ -283,6 +292,8 @@ def feasible_point_sets_joint(impl: Circuit,
     seen: set = set()
     results: List[Tuple[Pin, ...]] = []
     for prime in enumerate_primes(manager, h_t, limit=prime_limit):
+        if checkpoint is not None:
+            checkpoint()
         literals = prime.literals
         per_point = [selector.decode_cube(literals, i)
                      for i in range(num_points)]

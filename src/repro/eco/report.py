@@ -29,6 +29,10 @@ def format_patch_report(result: RectificationResult,
         f"patch          : inputs={stats.inputs} outputs={stats.outputs} "
         f"gates={stats.gates} nets={stats.nets}")
     lines.append(f"runtime        : {result.runtime_seconds:.2f}s")
+    if result.degraded:
+        lines.append(f"DEGRADED       : {result.degrade_reason} "
+                     "(partial search; remaining outputs completed via "
+                     "guaranteed fallback, result fully verified)")
 
     if result.per_output:
         by_method: dict = {}

@@ -15,7 +15,7 @@ domain.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.errors import EcoError
 from repro.bdd.manager import BddManager, FALSE, TRUE
@@ -53,6 +53,9 @@ class SamplingDomain:
         manager: target BDD manager; ``z`` variables are allocated here.
         samples: the sampled assignments; each must cover ``inputs``.
         inputs: input names the domain provides functions for.
+        checkpoint: optional callable invoked once per encoded input
+            while the ``g_i(z)`` functions are built; the run
+            supervisor passes its deadline check here.
 
     Attributes:
         z_vars: allocated variable indices, most significant first.
@@ -60,7 +63,8 @@ class SamplingDomain:
     """
 
     def __init__(self, manager: BddManager, samples: Sequence[Assignment],
-                 inputs: Sequence[str]):
+                 inputs: Sequence[str],
+                 checkpoint: Optional[Callable[[], None]] = None):
         if not samples:
             raise EcoError("sampling domain needs at least one sample")
         self.manager = manager
@@ -80,6 +84,8 @@ class SamplingDomain:
         ]
         self.input_functions: Dict[str, int] = {}
         for name in self.inputs:
+            if checkpoint is not None:
+                checkpoint()
             acc = FALSE
             for k, sample in enumerate(padded):
                 try:

@@ -240,12 +240,20 @@ class ValidationOutcome:
 def validate_rewire(impl: Circuit, spec: Circuit, ops: Sequence[RewireOp],
                     failing: Sequence[str], clone_map: Dict[str, str],
                     sat_budget: Optional[int] = None,
-                    target: Optional[str] = None) -> ValidationOutcome:
+                    target: Optional[str] = None,
+                    run=None) -> ValidationOutcome:
     """Exact check of a candidate rewire on the full input domain.
 
     A candidate is valid when every output it touches is either proven
     equivalent to the spec or was already failing (it may leave other
     failing outputs broken, but must never damage a passing one).
+
+    With a :class:`~repro.runtime.supervisor.RunSupervisor` as ``run``,
+    each per-output query goes through the supervisor instead of a flat
+    ``sat_budget``: budgets follow the adaptive escalation policy,
+    conflicts are charged to the run's aggregate budget, and the
+    deadline is checked between outputs.  Budget exhaustion then raises
+    a :class:`~repro.errors.ResourceBudgetExceeded` subclass.
     """
     if not topological_constraint_ok(impl, [op.pin for op in ops]):
         return ValidationOutcome(valid=False)
@@ -273,7 +281,11 @@ def validate_rewire(impl: Circuit, spec: Circuit, ops: Sequence[RewireOp],
     unknown: List[str] = []
     target_cex: Optional[Dict[str, bool]] = None
     for port in sorted(affected):
-        result = checker.check_pair(port, conflict_budget=sat_budget)
+        if run is not None:
+            run.checkpoint()
+            result = run.check_pair_supervised(checker, port)
+        else:
+            result = checker.check_pair(port, conflict_budget=sat_budget)
         if result.equivalent is True:
             if port in failing_set:
                 fixed.append(port)

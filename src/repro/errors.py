@@ -3,6 +3,29 @@
 Every error raised by the library derives from :class:`ReproError` so
 that callers can catch library failures without masking programming
 errors (``TypeError``, ``KeyError``, ...) in their own code.
+
+Budget exhaustion forms its own sub-hierarchy so that run supervision
+(:mod:`repro.runtime`) can catch *any* resource blow-up with one except
+clause::
+
+    ReproError
+    ├── NetlistError
+    ├── ParseError
+    ├── BddError
+    │   └── BddNodeLimitError      (also a ResourceBudgetExceeded)
+    ├── SatError
+    ├── ResourceBudgetExceeded
+    │   ├── BddNodeLimitError      (via multiple inheritance)
+    │   ├── SatBudgetExceeded
+    │   └── DeadlineExceeded
+    └── EcoError
+        └── RectificationInfeasible
+
+:class:`BddNodeLimitError` deliberately inherits from both
+:class:`BddError` (it is a BDD-layer condition) and
+:class:`ResourceBudgetExceeded` (it is a budget exhaustion): code that
+cares about the BDD layer catches the former, code that cares about
+graceful degradation catches the latter, and both keep working.
 """
 
 from __future__ import annotations
@@ -29,10 +52,6 @@ class BddError(ReproError):
     """BDD manager misuse or resource exhaustion."""
 
 
-class BddNodeLimitError(BddError):
-    """The manager exceeded its configured node limit."""
-
-
 class SatError(ReproError):
     """SAT solver misuse (bad literal, solving a released solver, ...)."""
 
@@ -40,10 +59,27 @@ class SatError(ReproError):
 class ResourceBudgetExceeded(ReproError):
     """A resource-constrained computation ran out of its budget.
 
-    Used by the SAT validation step of the ECO flow (the paper's
-    'resource-constrained SAT solver') and by BDD node limits during
-    symbolic computation.
+    Umbrella class for every budget exhaustion raised by the library:
+    SAT conflict budgets, BDD node limits and run deadlines.  The run
+    supervisor catches this class to trigger graceful degradation; the
+    concrete subclasses say which resource ran out.
     """
+
+
+class BddNodeLimitError(BddError, ResourceBudgetExceeded):
+    """The manager exceeded its configured node limit.
+
+    Inherits from both :class:`BddError` and
+    :class:`ResourceBudgetExceeded` — see the module docstring.
+    """
+
+
+class SatBudgetExceeded(ResourceBudgetExceeded):
+    """The run-level SAT conflict budget is spent."""
+
+
+class DeadlineExceeded(ResourceBudgetExceeded):
+    """The run's wall-clock deadline passed."""
 
 
 class EcoError(ReproError):

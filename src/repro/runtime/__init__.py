@@ -1,0 +1,51 @@
+"""Run supervision: deadlines, budgets, escalation, fault injection.
+
+This package gives every resource-bounded step of the ECO flow a single
+run-level contract (see ``docs/architecture.md``, section "Run
+supervision & failure handling"):
+
+* :class:`RunBudget` — wall-clock deadline plus aggregate SAT conflict
+  and BDD node caps for a whole run;
+* :class:`EscalationPolicy` — adaptive per-call SAT budgets (geometric
+  escalation on ``UNKNOWN``, de-escalation after repeated failures);
+* :class:`RunSupervisor` — bundles budget, escalation, counters and the
+  degradation state the engine consults;
+* :class:`FaultInjector` — deterministic fault injection at named call
+  sites, making every degradation branch unit-testable;
+* :class:`RunCounters` — typed per-run telemetry.
+
+Only :mod:`repro.errors` is depended on; the package sits at the bottom
+of the layering next to ``netlist`` / ``bdd`` / ``sat``.
+"""
+
+from repro.runtime.budget import RunBudget
+from repro.runtime.counters import RunCounters
+from repro.runtime.escalate import EscalationPolicy
+from repro.runtime.faultinject import (
+    FAULT_EXHAUST,
+    FAULT_UNKNOWN,
+    Fault,
+    FaultInjector,
+    InjectedClock,
+    MonotonicClock,
+    SITE_BDD,
+    SITE_CLOCK,
+    SITE_SAT,
+)
+from repro.runtime.supervisor import RunSupervisor
+
+__all__ = [
+    "RunBudget",
+    "RunCounters",
+    "EscalationPolicy",
+    "Fault",
+    "FaultInjector",
+    "InjectedClock",
+    "MonotonicClock",
+    "RunSupervisor",
+    "FAULT_EXHAUST",
+    "FAULT_UNKNOWN",
+    "SITE_BDD",
+    "SITE_CLOCK",
+    "SITE_SAT",
+]

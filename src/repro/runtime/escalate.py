@@ -1,0 +1,81 @@
+"""Adaptive SAT budget escalation with geometric backoff.
+
+The paper's validation step is a resource-constrained SAT call.  A
+fixed per-call budget wastes effort both ways: too small and hard
+instances always come back ``UNKNOWN``, too large and easy instances
+hog the run budget.  :class:`EscalationPolicy` starts each validation
+cheap and retries with geometrically larger budgets while the solver
+keeps answering ``UNKNOWN``; when even the escalated attempts keep
+failing call after call, the *starting* budget is halved (de-escalation)
+so a hopeless stretch of the search stops burning the aggregate budget.
+A later resolved call restores the configured starting budget.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+#: never de-escalate the starting budget below this many conflicts
+MIN_INITIAL = 64
+
+
+class EscalationPolicy:
+    """Per-call SAT budget schedule with escalation and de-escalation.
+
+    Args:
+        initial: starting conflict budget of every validation call.
+        factor: geometric growth between attempts of one call.
+        ceiling: hard cap per attempt (typically the configured
+            ``sat_budget``); ``None`` = uncapped.
+        max_attempts: attempts per call before giving up as UNKNOWN.
+        deescalate_after: consecutive unresolved calls after which the
+            starting budget is halved.
+    """
+
+    def __init__(self, initial: int, factor: float = 4.0,
+                 ceiling: Optional[int] = None, max_attempts: int = 3,
+                 deescalate_after: int = 3):
+        if initial < 1:
+            raise ValueError("initial budget must be positive")
+        if factor <= 1.0:
+            raise ValueError("escalation factor must exceed 1")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be positive")
+        if deescalate_after < 1:
+            raise ValueError("deescalate_after must be positive")
+        self.configured_initial = initial
+        self.current_initial = initial
+        self.factor = factor
+        self.ceiling = ceiling
+        self.max_attempts = max_attempts
+        self.deescalate_after = deescalate_after
+        self.escalations = 0
+        self.deescalations = 0
+        self._consecutive_failures = 0
+
+    def attempt_budgets(self) -> Iterator[int]:
+        """Budgets of one call's attempts, geometrically escalated."""
+        budget = self.current_initial
+        for attempt in range(self.max_attempts):
+            if self.ceiling is not None:
+                budget = min(budget, self.ceiling)
+            if attempt > 0:
+                self.escalations += 1
+            yield int(budget)
+            if self.ceiling is not None and budget >= self.ceiling:
+                return  # escalating past the ceiling changes nothing
+            budget = budget * self.factor
+
+    def record(self, resolved: bool) -> None:
+        """Feed back whether the call (all attempts) got an answer."""
+        if resolved:
+            self._consecutive_failures = 0
+            self.current_initial = self.configured_initial
+            return
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.deescalate_after:
+            halved = max(MIN_INITIAL, self.current_initial // 2)
+            if halved < self.current_initial:
+                self.current_initial = halved
+                self.deescalations += 1
+            self._consecutive_failures = 0

@@ -1,0 +1,218 @@
+"""The run supervisor: one object carrying a run's resource contract.
+
+``SysEco.rectify`` creates one :class:`RunSupervisor` per run and
+threads it through every resource-bounded step.  It bundles
+
+* a :class:`~repro.runtime.budget.RunBudget` (deadline + aggregate SAT
+  conflict / BDD node caps),
+* an :class:`~repro.runtime.escalate.EscalationPolicy` (adaptive
+  per-call SAT budgets),
+* a :class:`~repro.runtime.faultinject.FaultInjector` (deterministic
+  failure testing),
+* the run's :class:`~repro.runtime.counters.RunCounters`,
+* the degradation flag the engine consults when a budget blows.
+
+All state of a run lives here — engine instances stay stateless and
+can serve concurrent ``rectify`` calls.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Dict, List, Optional, Set
+
+from repro.errors import BddNodeLimitError, SatBudgetExceeded
+from repro.runtime.budget import RunBudget
+from repro.runtime.counters import RunCounters
+from repro.runtime.escalate import MIN_INITIAL, EscalationPolicy
+from repro.runtime.faultinject import (
+    FAULT_EXHAUST,
+    FAULT_UNKNOWN,
+    FaultInjector,
+    InjectedClock,
+    SITE_BDD,
+    SITE_SAT,
+)
+
+logger = logging.getLogger("repro.runtime")
+
+
+class RunSupervisor:
+    """Supervises one rectification run end to end.
+
+    Args:
+        budget: the run-level budget contract.
+        escalation: per-call SAT budget schedule.
+        max_output_attempts: symbolic-search attempts allowed per
+            failing output before the engine stops searching it and
+            falls back (``None`` = unlimited).
+        injector: fault injector consulted at every supervised site;
+            ``None`` installs an inert one.
+    """
+
+    def __init__(self, budget: RunBudget, escalation: EscalationPolicy,
+                 max_output_attempts: Optional[int] = None,
+                 injector: Optional[FaultInjector] = None):
+        self.budget = budget
+        self.escalation = escalation
+        self.max_output_attempts = max_output_attempts
+        self.injector = injector or FaultInjector()
+        self.counters = RunCounters()
+        self.degraded = False
+        self.degrade_reason: Optional[str] = None
+        #: per-run scratch for counterexample-guided refinement
+        self.cegar_cex: List[Dict[str, bool]] = []
+        self._attempts: Dict[str, int] = {}
+        self._capped: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_config(cls, config, injector: Optional[FaultInjector] = None,
+                    clock=None) -> "RunSupervisor":
+        """Build a supervisor from an ``EcoConfig``-shaped object.
+
+        When an injector is given the wall clock is routed through it so
+        armed clock jumps are visible to deadline checks.
+        """
+        if injector is not None:
+            clock = InjectedClock(clock, injector)
+        budget = RunBudget(
+            deadline_s=config.deadline_s,
+            total_sat_conflicts=config.total_sat_budget,
+            total_bdd_nodes=config.total_bdd_nodes,
+            clock=clock)
+        initial = config.sat_budget_initial
+        if initial is None:
+            initial = max(MIN_INITIAL, config.sat_budget // 8)
+        escalation = EscalationPolicy(
+            initial=min(initial, config.sat_budget),
+            factor=config.sat_escalation_factor,
+            ceiling=config.sat_budget,
+            max_attempts=config.sat_escalation_attempts,
+            deescalate_after=config.sat_deescalate_after)
+        return cls(budget, escalation,
+                   max_output_attempts=config.max_output_attempts,
+                   injector=injector)
+
+    # ------------------------------------------------------------------
+    # checkpoints and degradation
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Deadline check; called at every loop boundary of the engine."""
+        self.budget.check_deadline()
+
+    def node_hook(self, _count: int) -> None:
+        """Periodic callback from :class:`~repro.bdd.manager.BddManager`:
+        keeps deadline enforcement responsive inside heavy symbolic
+        computation."""
+        self.budget.check_deadline()
+
+    def mark_degraded(self, reason: str) -> None:
+        if not self.degraded:
+            self.degraded = True
+            self.degrade_reason = reason
+            logger.warning("run degraded: %s", reason)
+
+    # ------------------------------------------------------------------
+    # per-output attempt cap
+    # ------------------------------------------------------------------
+    def note_attempt(self, port: str) -> bool:
+        """Register one symbolic-search attempt for ``port``.
+
+        Returns False once the per-output cap is hit — the engine then
+        abandons the search for this output and uses the fallback.
+        """
+        n = self._attempts.get(port, 0) + 1
+        self._attempts[port] = n
+        if self.max_output_attempts is not None \
+                and n > self.max_output_attempts:
+            if port not in self._capped:
+                self._capped.add(port)
+                self.counters.attempts_capped += 1
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # BDD sessions
+    # ------------------------------------------------------------------
+    def open_bdd(self, configured_limit: Optional[int]) -> Optional[int]:
+        """Node limit for a new BDD session, under the aggregate cap.
+
+        Observes the :data:`SITE_BDD` fault site; an armed fault raises
+        :class:`BddNodeLimitError` as an immediate session blowup.
+        """
+        fault = self.injector.observe(SITE_BDD)
+        if fault is not None:
+            raise BddNodeLimitError(
+                "fault injection: BDD node limit hit at session "
+                f"{self.injector.calls(SITE_BDD)}")
+        limit = self.budget.grant_bdd(configured_limit)
+        self.counters.bdd_sessions += 1
+        return limit
+
+    def close_bdd(self, manager) -> None:
+        """Charge a finished session's node count to the run budget."""
+        nodes = manager.num_nodes
+        self.budget.charge_bdd(nodes)
+        self.counters.bdd_nodes_spent += nodes
+
+    # ------------------------------------------------------------------
+    # supervised SAT validation
+    # ------------------------------------------------------------------
+    def check_pair_supervised(self, checker, port: str):
+        """One output-pair equivalence query under run supervision.
+
+        Attempts the query with the escalation policy's budgets (small
+        first, geometrically larger on ``UNKNOWN``), charging actual
+        conflicts spent to the run budget.  Observes :data:`SITE_SAT`
+        once per attempt: an armed ``"unknown"`` fault forces that
+        attempt to UNKNOWN without solving, an ``"exhaust"`` fault
+        raises :class:`SatBudgetExceeded`.
+        """
+        from repro.cec.equivalence import EquivalenceResult
+
+        result = EquivalenceResult(None)
+        resolved = False
+        for requested in self.escalation.attempt_budgets():
+            granted = self.budget.grant_sat(requested)
+            fault = self.injector.observe(SITE_SAT)
+            if fault is not None and fault.payload == FAULT_EXHAUST:
+                self.escalation.record(False)
+                raise SatBudgetExceeded(
+                    "fault injection: total SAT conflict budget spent at "
+                    f"call {self.injector.calls(SITE_SAT)}")
+            if fault is not None and fault.payload == FAULT_UNKNOWN:
+                result = EquivalenceResult(None)
+            else:
+                before = checker.solver.conflicts
+                result = checker.check_pair(port, conflict_budget=granted)
+                spent = checker.solver.conflicts - before
+                self.budget.charge_sat(spent)
+                self.counters.sat_conflicts_spent += spent
+            if result.equivalent is not None:
+                resolved = True
+                break
+            self.counters.sat_unknowns += 1
+        self.escalation.record(resolved)
+        self.counters.sat_escalations = self.escalation.escalations
+        self.counters.sat_deescalations = self.escalation.deescalations
+        return result
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """One-line budget summary for end-of-run logging."""
+        c = self.counters
+        parts = [f"elapsed={self.budget.elapsed():.2f}s",
+                 f"sat_conflicts={self.budget.sat_spent}",
+                 f"bdd_nodes={c.bdd_nodes_spent}",
+                 f"bdd_sessions={c.bdd_sessions}",
+                 f"escalations={c.sat_escalations}",
+                 f"fallbacks={c.fallbacks}"]
+        if self.budget.total_sat_conflicts is not None:
+            parts[1] += f"/{self.budget.total_sat_conflicts}"
+        if self.budget.total_bdd_nodes is not None:
+            parts[2] = (f"bdd_nodes={c.bdd_nodes_spent}"
+                        f"/{self.budget.total_bdd_nodes}")
+        if self.degraded:
+            parts.append(f"DEGRADED({self.degrade_reason})")
+        return " ".join(parts)

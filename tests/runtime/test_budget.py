@@ -1,0 +1,147 @@
+"""Unit tests for run budgets, escalation and the error hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    BddError,
+    BddNodeLimitError,
+    DeadlineExceeded,
+    ResourceBudgetExceeded,
+    SatBudgetExceeded,
+)
+from repro.runtime import EscalationPolicy, RunBudget
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def now(self) -> float:
+        return self.t
+
+
+class TestErrorHierarchy:
+    def test_budget_errors_share_one_base(self):
+        # one except clause catches every budget exhaustion
+        for exc in (BddNodeLimitError("x"), SatBudgetExceeded("x"),
+                    DeadlineExceeded("x")):
+            with pytest.raises(ResourceBudgetExceeded):
+                raise exc
+
+    def test_bdd_node_limit_keeps_bdd_parent(self):
+        assert issubclass(BddNodeLimitError, BddError)
+        assert issubclass(BddNodeLimitError, ResourceBudgetExceeded)
+
+    def test_plain_budget_error_is_not_a_bdd_error(self):
+        assert not issubclass(ResourceBudgetExceeded, BddError)
+
+
+class TestRunBudgetDeadline:
+    def test_no_deadline_never_raises(self):
+        budget = RunBudget(clock=FakeClock())
+        assert budget.time_left() is None
+        budget.check_deadline()
+
+    def test_deadline_expiry_raises(self):
+        clock = FakeClock()
+        budget = RunBudget(deadline_s=10.0, clock=clock)
+        budget.check_deadline()
+        assert budget.time_left() == pytest.approx(10.0)
+        clock.t = 10.5
+        with pytest.raises(DeadlineExceeded):
+            budget.check_deadline()
+
+    def test_elapsed_tracks_clock(self):
+        clock = FakeClock(5.0)
+        budget = RunBudget(clock=clock)
+        clock.t = 7.5
+        assert budget.elapsed() == pytest.approx(2.5)
+
+
+class TestRunBudgetSat:
+    def test_unlimited_passes_request_through(self):
+        budget = RunBudget(clock=FakeClock())
+        assert budget.grant_sat(123) == 123
+        assert budget.grant_sat(None) is None
+
+    def test_grants_capped_by_remainder(self):
+        budget = RunBudget(total_sat_conflicts=100, clock=FakeClock())
+        assert budget.grant_sat(50) == 50
+        budget.charge_sat(60)
+        assert budget.grant_sat(50) == 40
+        assert budget.grant_sat(None) == 40
+
+    def test_exhaustion_raises(self):
+        budget = RunBudget(total_sat_conflicts=100, clock=FakeClock())
+        budget.charge_sat(100)
+        with pytest.raises(SatBudgetExceeded):
+            budget.grant_sat(1)
+
+    def test_grant_checks_deadline_too(self):
+        clock = FakeClock()
+        budget = RunBudget(deadline_s=1.0, clock=clock)
+        clock.t = 2.0
+        with pytest.raises(DeadlineExceeded):
+            budget.grant_sat(10)
+
+
+class TestRunBudgetBdd:
+    def test_grants_and_charges(self):
+        budget = RunBudget(total_bdd_nodes=1000, clock=FakeClock())
+        assert budget.grant_bdd(400) == 400
+        budget.charge_bdd(900)
+        assert budget.grant_bdd(400) == 100
+
+    def test_exhaustion_is_not_a_node_limit_error(self):
+        # the engine's shrink-and-retry handler catches
+        # BddNodeLimitError; aggregate exhaustion must NOT be caught by
+        # it, so it has to be the plain budget class
+        budget = RunBudget(total_bdd_nodes=10, clock=FakeClock())
+        budget.charge_bdd(10)
+        with pytest.raises(ResourceBudgetExceeded) as info:
+            budget.grant_bdd(5)
+        assert not isinstance(info.value, BddNodeLimitError)
+
+
+class TestEscalationPolicy:
+    def test_geometric_attempt_budgets(self):
+        policy = EscalationPolicy(initial=100, factor=2.0, ceiling=10000,
+                                  max_attempts=4)
+        assert list(policy.attempt_budgets()) == [100, 200, 400, 800]
+        assert policy.escalations == 3
+
+    def test_ceiling_stops_escalation(self):
+        policy = EscalationPolicy(initial=600, factor=4.0, ceiling=1000,
+                                  max_attempts=5)
+        assert list(policy.attempt_budgets()) == [600, 1000]
+
+    def test_deescalation_after_repeated_failures(self):
+        policy = EscalationPolicy(initial=1024, factor=2.0, ceiling=4096,
+                                  max_attempts=2, deescalate_after=3)
+        for _ in range(3):
+            policy.record(False)
+        assert policy.current_initial == 512
+        assert policy.deescalations == 1
+
+    def test_success_restores_configured_initial(self):
+        policy = EscalationPolicy(initial=1024, factor=2.0, ceiling=4096,
+                                  max_attempts=2, deescalate_after=1)
+        policy.record(False)
+        assert policy.current_initial == 512
+        policy.record(True)
+        assert policy.current_initial == 1024
+
+    def test_deescalation_floors(self):
+        policy = EscalationPolicy(initial=70, factor=2.0,
+                                  max_attempts=1, deescalate_after=1)
+        for _ in range(10):
+            policy.record(False)
+        assert policy.current_initial == 64  # MIN_INITIAL
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            EscalationPolicy(initial=0)
+        with pytest.raises(ValueError):
+            EscalationPolicy(initial=10, factor=1.0)
+        with pytest.raises(ValueError):
+            EscalationPolicy(initial=10, max_attempts=0)
