@@ -7,6 +7,8 @@ order of magnitude of size spread and revised fractions from a few
 percent to roughly half of the outputs.
 """
 
+import dataclasses
+
 from repro.bench.runner import table1_row
 from repro.bench.tables import format_table1
 
@@ -15,7 +17,11 @@ def test_table1(benchmark, suite_cases, publish):
     rows = benchmark.pedantic(
         lambda: [table1_row(suite_cases[cid]) for cid in range(1, 12)],
         rounds=1, iterations=1)
-    publish("table1.txt", format_table1(rows))
+    publish("table1.txt", format_table1(rows), data={
+        "table": "table1",
+        "wall_seconds": benchmark.stats.stats.mean,
+        "rows": [dataclasses.asdict(r) for r in rows],
+    })
 
     gates = [r.gates for r in rows]
     # size spread: largest case well over an order of magnitude above

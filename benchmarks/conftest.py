@@ -8,6 +8,7 @@ set of numbers.
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Dict
 
@@ -42,13 +43,23 @@ def results_dir() -> str:
 
 @pytest.fixture(scope="session")
 def publish(results_dir):
-    """Callable that prints a rendered table and persists it."""
+    """Callable that prints a rendered table and persists it.
 
-    def _publish(name: str, text: str) -> None:
+    When ``data`` is given, a machine-readable JSON twin is written
+    next to the text file (``table1.txt`` -> ``table1.json``) so result
+    tracking across runs doesn't have to re-parse rendered tables.
+    """
+
+    def _publish(name: str, text: str, data=None) -> None:
         print()
         print(text)
         path = os.path.join(results_dir, name)
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(text + "\n")
+        if data is not None:
+            json_path = os.path.splitext(path)[0] + ".json"
+            with open(json_path, "w", encoding="utf-8") as fh:
+                json.dump(data, fh, indent=2, sort_keys=True)
+                fh.write("\n")
 
     return _publish

@@ -7,7 +7,14 @@ full equivalence with its own SAT solver and reports the Table-2 style
 patch attributes.
 
 Run:  python examples/quickstart.py
+
+Pass ``--trace run.json --trace-format chrome`` to record a span trace
+of the run (open it in Perfetto / ``chrome://tracing``, or summarize it
+with ``python -m repro trace run.json``), and ``--metrics run.prom``
+for a Prometheus-style metrics snapshot.
 """
+
+import argparse
 
 from repro import Circuit, EcoConfig, SysEco, check_equivalence
 
@@ -28,12 +35,29 @@ def build_implementation() -> Circuit:
     return impl
 
 
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", metavar="FILE",
+                        help="record a span trace of the run")
+    parser.add_argument("--trace-format", choices=["jsonl", "chrome"],
+                        default="jsonl")
+    parser.add_argument("--metrics", metavar="FILE",
+                        help="write a Prometheus-style metrics snapshot")
+    return parser.parse_args()
+
+
 def main() -> None:
+    args = parse_args()
     spec = build_specification()
     impl = build_implementation()
 
+    trace = None
+    if args.trace or args.metrics:
+        from repro.obs import Trace
+        trace = Trace(name=impl.name)
+
     engine = SysEco(EcoConfig(num_samples=4))
-    result = engine.rectify(impl, spec)
+    result = engine.rectify(impl, spec, trace=trace)
 
     print("committed rewire operations:")
     for op in result.patch.ops:
@@ -48,6 +72,20 @@ def main() -> None:
     verdict = check_equivalence(result.patched, spec)
     print(f"formally equivalent to the revised spec: {verdict.equivalent}")
     assert verdict.equivalent is True
+
+    if trace is not None:
+        from repro.obs import (format_summary, summarize, write_chrome,
+                               write_jsonl, write_prometheus)
+        print()
+        print(format_summary(summarize(trace.records())))
+        if args.trace:
+            writer = (write_chrome if args.trace_format == "chrome"
+                      else write_jsonl)
+            writer(trace, args.trace)
+            print(f"\nwrote {args.trace} ({args.trace_format} trace)")
+        if args.metrics:
+            write_prometheus(trace, args.metrics)
+            print(f"wrote {args.metrics} (metrics snapshot)")
 
 
 if __name__ == "__main__":

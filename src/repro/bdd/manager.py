@@ -429,6 +429,15 @@ class BddManager:
         """Drop the computed cache (keeps the node store)."""
         self._cache.clear()
 
+    def stats(self) -> Dict[str, int]:
+        """Session statistics for telemetry (node store never shrinks,
+        so ``nodes`` doubles as the session peak)."""
+        return {
+            "nodes": len(self._var),
+            "vars": self._nvars,
+            "cache_entries": len(self._cache),
+        }
+
     def __repr__(self) -> str:
         return (f"BddManager(vars={self._nvars}, nodes={len(self._var)}, "
                 f"cache={len(self._cache)})")

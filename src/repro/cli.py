@@ -8,15 +8,19 @@ Run ``python -m repro <command> --help``.  Commands:
 * ``eco``    — rectify an implementation against a revised spec with
   any of the three engines, writing the patched netlist and a patch
   report;
+* ``trace``  — summarize a trace file written by ``eco --trace``;
 * ``tables`` — regenerate the paper's tables on the scaled suite.
 
 All netlists are exchanged as BLIF; ``eco`` and ``synth`` can also emit
-structural Verilog with ``--verilog``.
+structural Verilog with ``--verilog``.  ``-v``/``--log-level`` turn on
+the engines' diagnostic logging (stderr).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 from typing import List, Optional
 
@@ -137,18 +141,34 @@ def _cmd_eco(args: argparse.Namespace) -> int:
             total_bdd_nodes=args.total_bdd_nodes,
             degrade_on_budget=args.degrade_on_budget,
         ))
-    elif args.engine == "deltasyn":
-        engine = DeltaSyn()
     else:
-        engine = ConeMap()
+        engine = DeltaSyn() if args.engine == "deltasyn" else ConeMap()
 
-    result = engine.rectify(impl, spec)
+    want_trace = bool(args.trace or args.metrics)
+    trace = None
+    if want_trace:
+        if args.engine != "syseco":
+            print(f"warning: --trace/--metrics is only supported by the "
+                  f"syseco engine, not {args.engine}; skipping",
+                  file=sys.stderr)
+        else:
+            from repro.obs import Trace
+            trace = Trace(name=impl.name)
+
+    if trace is not None:
+        result = engine.rectify(impl, spec, trace=trace)
+    else:
+        result = engine.rectify(impl, spec)
     from repro.eco.report import format_patch_report
     print(format_patch_report(result, impl=impl,
                               title=f"ECO with {args.engine}"))
 
     verdict = check_equivalence(result.patched, spec)
     print(f"verified: {verdict.equivalent}")
+    if trace is not None:
+        _export_trace(args, trace)
+    if args.counters_json:
+        _dump_counters(args.counters_json, args, result, verdict)
     if args.output:
         _save_netlist(result.patched, args.output)
         print(f"wrote {args.output}")
@@ -164,6 +184,50 @@ def _cmd_eco(args: argparse.Namespace) -> int:
         for port, pin in sorted(port_map.items()):
             print(f"  {port} -> {pin!r}")
     return 0 if verdict.equivalent is True else 1
+
+
+def _export_trace(args: argparse.Namespace, trace) -> None:
+    from repro.obs import write_chrome, write_jsonl, write_prometheus
+
+    if args.trace:
+        if args.trace_format == "chrome":
+            write_chrome(trace, args.trace)
+        else:
+            write_jsonl(trace, args.trace)
+        print(f"wrote {args.trace} ({args.trace_format} trace, "
+              f"{len(trace.spans)} spans)")
+    if args.metrics:
+        write_prometheus(trace, args.metrics)
+        print(f"wrote {args.metrics} (metrics snapshot)")
+
+
+def _dump_counters(path: str, args: argparse.Namespace, result,
+                   verdict) -> None:
+    stats = result.stats()
+    payload = {
+        "engine": args.engine,
+        "design": args.impl,
+        "counters": result.counters.as_dict(),
+        "degraded": result.degraded,
+        "degrade_reason": result.degrade_reason,
+        "per_output": dict(sorted(result.per_output.items())),
+        "runtime_seconds": result.runtime_seconds,
+        "patch": {"inputs": stats.inputs, "outputs": stats.outputs,
+                  "gates": stats.gates, "nets": stats.nets},
+        "verified": verdict.equivalent,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {path} (run counters)")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import format_summary, read_trace, summarize
+
+    summary = summarize(read_trace(args.file))
+    print(format_summary(summary, hot=args.hot))
+    return 0
 
 
 def _cmd_diagnose(args: argparse.Namespace) -> int:
@@ -212,6 +276,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="syseco reproduction: rewire-based ECO rectification "
                     "via symbolic sampling (DAC 2019)")
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="increase log verbosity (-v: INFO, -vv: DEBUG); logs go "
+             "to stderr")
+    parser.add_argument(
+        "--log-level", metavar="LEVEL", default=None,
+        choices=["DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL"],
+        help="explicit log level (overrides -v)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("stats", help="netlist statistics and timing")
@@ -275,7 +347,29 @@ def build_parser() -> argparse.ArgumentParser:
     strictness.add_argument(
         "--strict", dest="degrade_on_budget", action="store_false",
         help="raise instead of degrading on budget exhaustion")
+    p.add_argument("--trace", metavar="FILE",
+                   help="record a hierarchical span trace of the run "
+                        "(syseco engine only)")
+    p.add_argument("--trace-format", choices=["jsonl", "chrome"],
+                   default="jsonl",
+                   help="trace file format: jsonl events or Chrome "
+                        "trace-event JSON for Perfetto/chrome://tracing "
+                        "(default: jsonl)")
+    p.add_argument("--metrics", metavar="FILE",
+                   help="write a Prometheus-style text metrics snapshot "
+                        "of the run")
+    p.add_argument("--counters-json", metavar="FILE",
+                   help="dump run counters, degradation state and "
+                        "per-output status as JSON")
     p.set_defaults(func=_cmd_eco)
+
+    p = sub.add_parser(
+        "trace",
+        help="summarize a trace file written by eco --trace")
+    p.add_argument("file", help="trace file (jsonl or chrome format)")
+    p.add_argument("--hot", type=int, default=5, metavar="N",
+                   help="number of hottest outputs to list (default: 5)")
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("diagnose",
                        help="characterize an ECO instance before running")
@@ -297,9 +391,24 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _configure_logging(args: argparse.Namespace) -> None:
+    if args.log_level:
+        level = getattr(logging, args.log_level)
+    elif args.verbose >= 2:
+        level = logging.DEBUG
+    elif args.verbose == 1:
+        level = logging.INFO
+    else:
+        level = logging.WARNING
+    logging.basicConfig(
+        level=level, stream=sys.stderr,
+        format="%(levelname)s %(name)s: %(message)s")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args)
     try:
         return args.func(args)
     except ReproError as exc:

@@ -30,6 +30,7 @@ from repro.netlist.traverse import topological_order
 from repro.eco.rewiring import RewireCandidate
 from repro.eco.points import compute_h_function
 from repro.eco.sampling import SamplingDomain
+from repro.obs.trace import ensure_trace
 
 #: a choice assigns one candidate to every point of the set
 Choice = Tuple[RewireCandidate, ...]
@@ -93,7 +94,8 @@ def enumerate_rewiring_choices(
         candidates: Sequence[Sequence[RewireCandidate]],
         spec_value: int,
         limit: int = 16,
-        cost_fn: Optional[CostFn] = None) -> List[Choice]:
+        cost_fn: Optional[CostFn] = None,
+        trace=None) -> List[Choice]:
     """Valid rewiring choices for one point-set, cheapest first.
 
     Args:
@@ -115,7 +117,7 @@ def enumerate_rewiring_choices(
     """
     return enumerate_rewiring_choices_joint(
         impl, {port: spec_value}, domain, pins, candidates,
-        limit=limit, cost_fn=cost_fn)
+        limit=limit, cost_fn=cost_fn, trace=trace)
 
 
 def enumerate_rewiring_choices_joint(
@@ -124,13 +126,30 @@ def enumerate_rewiring_choices_joint(
         pins: Sequence[Pin],
         candidates: Sequence[Sequence[RewireCandidate]],
         limit: int = 16,
-        cost_fn: Optional[CostFn] = None) -> List[Choice]:
+        cost_fn: Optional[CostFn] = None,
+        trace=None) -> List[Choice]:
     """Joint multi-output version of :func:`enumerate_rewiring_choices`.
 
     ``spec_values`` maps each output port to its revised function in
     the sampling domain; a valid choice must satisfy Theorem 1 for
     every listed output with the *same* rewiring (the shared ``R``).
     """
+    with ensure_trace(trace).span(
+            "choices.enumerate", outputs=",".join(spec_values),
+            pins=len(pins)) as _span:
+        result = _enumerate_choices_joint(
+            impl, spec_values, domain, pins, candidates, limit, cost_fn)
+        _span.tag(choices=len(result))
+        return result
+
+
+def _enumerate_choices_joint(
+        impl: Circuit, spec_values,
+        domain: SamplingDomain,
+        pins: Sequence[Pin],
+        candidates: Sequence[Sequence[RewireCandidate]],
+        limit: int,
+        cost_fn: Optional[CostFn]) -> List[Choice]:
     from repro.eco.points import compute_h_functions
 
     manager = domain.manager

@@ -67,6 +67,7 @@ from repro.eco.validate import (
     ValidationOutcome,
     validate_rewire,
 )
+from repro.obs.trace import Trace, ensure_trace
 from repro.runtime.faultinject import FaultInjector
 from repro.runtime.supervisor import RunSupervisor
 
@@ -88,8 +89,8 @@ class SysEco:
 
     # ------------------------------------------------------------------
     def rectify(self, impl: Circuit, spec: Circuit,
-                injector: Optional[FaultInjector] = None
-                ) -> RectificationResult:
+                injector: Optional[FaultInjector] = None,
+                trace: Optional[Trace] = None) -> RectificationResult:
         """Rectify ``impl`` to match ``spec``; returns the result record.
 
         Both circuits must share primary-input and output-port names.
@@ -102,82 +103,126 @@ class SysEco:
         False, in which case :class:`ResourceBudgetExceeded` propagates.
 
         ``injector`` arms deterministic faults at the supervised call
-        sites (tests of the degradation paths use this).
+        sites (tests of the degradation paths use this).  ``trace``
+        receives the run's phase spans (see :mod:`repro.obs`); the
+        finished trace is attached to the result.
         """
         started = time.time()
+        trace = ensure_trace(trace)
         self._check_interfaces(impl, spec)
         config = self.config
         rng = random.Random(config.seed)
-        run = RunSupervisor.from_config(config, injector=injector)
+        run = RunSupervisor.from_config(config, injector=injector,
+                                        trace=trace)
+        trace.set_counters(run.counters)
 
+        with trace.span("eco.rectify", impl=impl.name,
+                        outputs=len(impl.outputs)):
+            result = self._rectify_run(impl, spec, rng, run, started)
+        trace.meta.update(
+            impl=impl.name,
+            counters=run.counters.as_dict(),
+            degraded=run.degraded,
+            degrade_reason=run.degrade_reason,
+            wall_seconds=result.runtime_seconds,
+        )
+        if trace.enabled:
+            result.trace = trace
+        return result
+
+    def _rectify_run(self, impl: Circuit, spec: Circuit,
+                     rng: random.Random, run: RunSupervisor,
+                     started: float) -> RectificationResult:
+        config = self.config
+        trace = run.trace
         work = impl.copy()
         patch = Patch()
         per_output: Dict[str, str] = {}
 
-        failing = nonequivalent_outputs(work, spec)
-        failing = self._order_by_cone(work, failing)
+        with trace.span("eco.diagnose") as dsp:
+            failing = nonequivalent_outputs(work, spec)
+            failing = self._order_by_cone(work, failing)
+            dsp.tag(failing=len(failing))
         logger.info("rectifying %s: %d of %d outputs non-equivalent",
                     impl.name, len(failing), len(impl.outputs))
 
         while failing:
             port = failing[0]
-            outcome = None
-            how = "rewire"
-            if not run.degraded:
-                try:
-                    run.checkpoint()
-                    if config.joint_outputs > 1 and len(failing) > 1:
-                        group = self._joint_group(work, failing)
-                        if len(group) > 1:
-                            outcome = self._rectify_joint(
-                                work, spec, group, failing, patch, rng,
-                                run=run)
-                            if outcome is not None:
-                                how = "joint-rewire"
-                    if outcome is None:
-                        outcome = self._rectify_output(
-                            work, spec, port, failing, patch, rng, run)
-                except ResourceBudgetExceeded as exc:
-                    if not config.degrade_on_budget:
-                        raise
-                    run.mark_degraded(str(exc))
-                    logger.warning(
-                        "budget exhausted on output %s; degrading: "
-                        "remaining outputs force-completed via fallback",
-                        port)
-                    outcome = None
-            if outcome is None:
-                outcome = self._fallback(work, spec, port, failing, patch)
-                how = "fallback-degraded" if run.degraded else "fallback"
-                run.counters.fallbacks += 1
-                if run.degraded:
-                    run.counters.degraded_outputs += 1
-            logger.info(
-                "output %s: %s with %d op(s), %d cloned gate(s), "
-                "fixes %s", port, how, len(outcome.committed_ops),
-                len(outcome.new_gates), ", ".join(outcome.fixed))
-            logger.debug("ops: %s",
-                         "; ".join(op.describe()
-                                   for op in outcome.committed_ops))
-            work = outcome.patched
-            patch.record(outcome.committed_ops, outcome.clone_map,
-                         outcome.new_gates)
-            for fixed_port in outcome.fixed:
-                per_output[fixed_port] = (
-                    how if fixed_port == port else "fixed-by-earlier")
-            fixed = set(outcome.fixed)
-            failing = [p for p in failing if p not in fixed]
+            with trace.span("eco.output", output=port) as osp:
+                outcome = None
+                how = "rewire"
+                if not run.degraded:
+                    try:
+                        run.checkpoint()
+                        if config.joint_outputs > 1 and len(failing) > 1:
+                            group = self._joint_group(work, failing)
+                            if len(group) > 1:
+                                with trace.span(
+                                        "eco.joint", output=port,
+                                        group=len(group)) as jsp:
+                                    outcome = self._rectify_joint(
+                                        work, spec, group, failing,
+                                        patch, rng, run=run)
+                                    jsp.tag(
+                                        committed=outcome is not None)
+                                if outcome is not None:
+                                    how = "joint-rewire"
+                        if outcome is None:
+                            outcome = self._rectify_output(
+                                work, spec, port, failing, patch, rng,
+                                run)
+                    except ResourceBudgetExceeded as exc:
+                        if not config.degrade_on_budget:
+                            raise
+                        run.mark_degraded(str(exc))
+                        logger.warning(
+                            "budget exhausted on output %s; degrading: "
+                            "remaining outputs force-completed via "
+                            "fallback", port)
+                        outcome = None
+                if outcome is None:
+                    how = ("fallback-degraded" if run.degraded
+                           else "fallback")
+                    with trace.span("eco.fallback", output=port,
+                                    degraded=run.degraded):
+                        outcome = self._fallback(work, spec, port,
+                                                 failing, patch)
+                    run.counters.fallbacks += 1
+                    if run.degraded:
+                        run.counters.degraded_outputs += 1
+                logger.info(
+                    "output %s: %s with %d op(s), %d cloned gate(s), "
+                    "fixes %s", port, how, len(outcome.committed_ops),
+                    len(outcome.new_gates), ", ".join(outcome.fixed))
+                logger.debug("ops: %s",
+                             "; ".join(op.describe()
+                                       for op in outcome.committed_ops))
+                work = outcome.patched
+                patch.record(outcome.committed_ops, outcome.clone_map,
+                             outcome.new_gates)
+                for fixed_port in outcome.fixed:
+                    per_output[fixed_port] = (
+                        how if fixed_port == port else "fixed-by-earlier")
+                fixed = set(outcome.fixed)
+                failing = [p for p in failing if p not in fixed]
+                osp.tag(how=how, ops=len(outcome.committed_ops),
+                        fixed=len(fixed))
 
-        refine_patch_inputs(work, patch.cloned_gates,
-                            seed=self.config.seed)
+        with trace.span("eco.refine"):
+            refine_patch_inputs(work, patch.cloned_gates,
+                                seed=self.config.seed)
         if self.config.resynthesis:
             from repro.eco.resynth import resubstitute_patch
-            resubs, patch_gates = resubstitute_patch(
-                work, patch.cloned_gates, seed=self.config.seed)
+            with trace.span("eco.resynth") as rsp:
+                resubs, patch_gates = resubstitute_patch(
+                    work, patch.cloned_gates, seed=self.config.seed)
+                rsp.tag(resubstitutions=resubs)
             patch.cloned_gates = patch_gates
             run.counters.resubstitutions = resubs
 
-        verification = check_equivalence(work, spec)
+        with trace.span("cec.verify_final") as vsp:
+            verification = check_equivalence(work, spec)
+            vsp.tag(equivalent=verification.equivalent)
         if verification.equivalent is not True:
             raise EcoError(
                 "final verification failed; counterexample: "
@@ -218,13 +263,15 @@ class SysEco:
                         run: RunSupervisor) -> Optional["_Commit"]:
         """Steps 1-5 of the flow for one failing output."""
         config = self.config
-        samples = self._exact_domain_samples(work, spec, port)
-        exact = samples is not None
-        if samples is None:
-            samples = collect_error_samples(
-                work, spec, port, config.num_samples, rng,
-                error_bias=config.error_bias,
-                diversify=config.sample_diversify)
+        with run.trace.span("eco.samples", output=port) as sp:
+            samples = self._exact_domain_samples(work, spec, port)
+            exact = samples is not None
+            if samples is None:
+                samples = collect_error_samples(
+                    work, spec, port, config.num_samples, rng,
+                    error_bias=config.error_bias,
+                    diversify=config.sample_diversify)
+            sp.tag(count=len(samples), exact=exact)
         if not samples:
             return None
 
@@ -246,6 +293,8 @@ class SysEco:
                     refined.append(cex)
             if len(refined) > len(samples):
                 run.counters.cegar_rounds += 1
+                run.trace.event("cegar.refine", output=port,
+                                added=len(refined) - len(samples))
                 return self._search_at_scale(work, spec, port, failing,
                                              patch, refined, run)
         return None
@@ -261,11 +310,16 @@ class SysEco:
             if not run.note_attempt(port):
                 logger.debug("output %s: attempt cap reached", port)
                 return None
+            span = run.trace.span("eco.search", output=port,
+                                  max_pins=max_pins)
             try:
-                return self._search_with_domain(
-                    work, spec, port, failing, patch, samples, max_pins,
-                    run)
+                with span:
+                    return self._search_with_domain(
+                        work, spec, port, failing, patch, samples,
+                        max_pins, run)
             except BddNodeLimitError:
+                run.trace.event("bdd.node_limit", output=port,
+                                max_pins=max_pins)
                 max_pins //= 2  # shrink the symbolic problem and retry
         return None
 
@@ -326,10 +380,13 @@ class SysEco:
 
         ctx = RewiringContext(
             work, spec, port, domain, config, impl_z, spec_z,
-            impl_supports, spec_supports, impl_levels, spec_levels)
+            impl_supports, spec_supports, impl_levels, spec_levels,
+            trace=run.trace)
 
-        candidate_pins = self._select_candidate_pins(
-            work, spec, port, samples, max_pins)
+        with run.trace.span("eco.rank_pins", output=port) as psp:
+            candidate_pins = self._select_candidate_pins(
+                work, spec, port, samples, max_pins)
+            psp.tag(pins=len(candidate_pins))
         if not candidate_pins:
             return None
         spec_value = spec_z[spec.outputs[port]]
@@ -346,14 +403,15 @@ class SysEco:
                 work, port, domain, candidate_pins, spec_value, m,
                 prime_limit=config.prime_limit,
                 pointset_limit=config.pointset_limit,
-                checkpoint=run.checkpoint)
+                checkpoint=run.checkpoint, trace=run.trace)
             run.counters.point_sets += len(point_sets)
             for pins in point_sets:
                 run.checkpoint()
                 cand_lists = [ctx.candidates_for_pin(p) for p in pins]
                 choices = enumerate_rewiring_choices(
                     work, port, domain, pins, cand_lists, spec_value,
-                    limit=config.choice_limit, cost_fn=cost_fn)
+                    limit=config.choice_limit, cost_fn=cost_fn,
+                    trace=run.trace)
                 run.counters.choices += len(choices)
                 # choices are cost-ordered; the simulation screen drops
                 # sampling false positives cheaply, and only the first
@@ -369,15 +427,20 @@ class SysEco:
                     ]
                     if not ops:
                         continue
-                    if not sim_filter.passes(ops, port, failing):
+                    if not self._screen(run, sim_filter, ops, port,
+                                        failing):
                         run.counters.sim_rejects += 1
                         continue
                     sat_tried += 1
                     run.counters.sat_validations += 1
-                    outcome = validate_rewire(
-                        work, spec, ops, failing, patch.clone_map,
-                        sat_budget=config.sat_budget, target=port,
-                        run=run)
+                    with run.trace.span("eco.validate", output=port,
+                                        ops=len(ops)) as vsp:
+                        outcome = validate_rewire(
+                            work, spec, ops, failing, patch.clone_map,
+                            sat_budget=config.sat_budget, target=port,
+                            run=run)
+                        vsp.tag(valid=outcome.valid,
+                                fixed=len(outcome.fixed))
                     if not outcome.valid and \
                             outcome.target_counterexample is not None:
                         run.cegar_cex.append(
@@ -463,7 +526,7 @@ class SysEco:
             ctx = RewiringContext(
                 work, spec, group[0], domain, config, impl_z, spec_z,
                 impl_supports, spec_supports, impl_levels, spec_levels,
-                ports=group)
+                ports=group, trace=run.trace)
 
             pins: List[Pin] = []
             per_port_pins = max(4, config.max_candidate_pins
@@ -485,27 +548,35 @@ class SysEco:
                     work, spec_values, domain, pins, m,
                     prime_limit=config.prime_limit,
                     pointset_limit=config.pointset_limit,
-                    checkpoint=run.checkpoint)
+                    checkpoint=run.checkpoint, trace=run.trace)
                 for point_set in point_sets:
                     cand_lists = [ctx.candidates_for_pin(p)
                                   for p in point_set]
                     choices = enumerate_rewiring_choices_joint(
                         work, spec_values, domain, point_set, cand_lists,
-                        limit=config.choice_limit, cost_fn=cost_fn)
+                        limit=config.choice_limit, cost_fn=cost_fn,
+                        trace=run.trace)
                     for choice in choices[:4]:
                         ops = [RewireOp(pin, cand.net, cand.from_spec)
                                for pin, cand in zip(point_set, choice)
                                if not cand.trivial]
                         if not ops:
                             continue
-                        if not all(sim_filter.passes(ops, p, failing)
+                        if not all(self._screen(run, sim_filter, ops, p,
+                                                failing)
                                    for p in group):
                             continue
                         validations += 1
-                        outcome = validate_rewire(
-                            work, spec, ops, failing, patch.clone_map,
-                            sat_budget=config.sat_budget,
-                            target=group[0], run=run)
+                        with run.trace.span(
+                                "eco.validate", output=group[0],
+                                ops=len(ops), joint=True) as vsp:
+                            outcome = validate_rewire(
+                                work, spec, ops, failing,
+                                patch.clone_map,
+                                sat_budget=config.sat_budget,
+                                target=group[0], run=run)
+                            vsp.tag(valid=outcome.valid,
+                                    fixed=len(outcome.fixed))
                         if outcome.valid and \
                                 set(group) <= set(outcome.fixed):
                             # economy guard: a joint commit must beat
@@ -538,6 +609,17 @@ class SysEco:
         finally:
             if manager is not None:
                 run.close_bdd(manager)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _screen(run: RunSupervisor, sim_filter: SimulationFilter,
+                ops: List[RewireOp], port: str,
+                failing: Sequence[str]) -> bool:
+        """One simulation-screen decision, recorded as a trace span."""
+        with run.trace.span("sim.screen", output=port) as sp:
+            ok = sim_filter.passes(ops, port, failing)
+            sp.tag(passed=ok)
+            return ok
 
     # ------------------------------------------------------------------
     def _make_sim_filter(self, work: Circuit, spec: Circuit,
@@ -694,7 +776,9 @@ class _Commit:
 
 def rectify(impl: Circuit, spec: Circuit,
             config: Optional[EcoConfig] = None,
-            injector: Optional[FaultInjector] = None
+            injector: Optional[FaultInjector] = None,
+            trace: Optional[Trace] = None
             ) -> RectificationResult:
     """Convenience one-shot: ``SysEco(config).rectify(impl, spec)``."""
-    return SysEco(config).rectify(impl, spec, injector=injector)
+    return SysEco(config).rectify(impl, spec, injector=injector,
+                                  trace=trace)

@@ -202,6 +202,10 @@ class RectificationResult:
             The patched circuit is still proven equivalent — degradation
             affects patch quality, never correctness.
         degrade_reason: human-readable cause of the degradation.
+        trace: the run's :class:`~repro.obs.trace.Trace` when tracing
+            was requested (``None`` otherwise); exportable via
+            :mod:`repro.obs.export` and summarizable via
+            :meth:`trace_summary`.
     """
 
     patched: Circuit
@@ -212,6 +216,15 @@ class RectificationResult:
     counters: RunCounters = field(default_factory=RunCounters)
     degraded: bool = False
     degrade_reason: Optional[str] = None
+    trace: Optional[object] = None
 
     def stats(self) -> PatchStats:
         return self.patch.stats(self.patched)
+
+    def trace_summary(self):
+        """The run's :class:`~repro.obs.summary.TraceSummary`, or
+        ``None`` when the run was not traced."""
+        if self.trace is None:
+            return None
+        from repro.obs.summary import summarize
+        return summarize(self.trace.records())

@@ -33,6 +33,7 @@ from repro.bdd.primes import enumerate_primes
 from repro.netlist.circuit import Circuit, Pin
 from repro.netlist.traverse import topological_order, transitive_fanin
 from repro.eco.sampling import SamplingDomain
+from repro.obs.trace import ensure_trace
 
 
 class PointSelector:
@@ -234,7 +235,7 @@ def feasible_point_sets(impl: Circuit, port: str, domain: SamplingDomain,
                         prime_limit: int = 8,
                         pointset_limit: int = 12,
                         checkpoint: Optional[Callable[[], None]] = None,
-                        ) -> List[Tuple[Pin, ...]]:
+                        trace=None) -> List[Tuple[Pin, ...]]:
     """Candidate rectification point-sets for one failing output.
 
     Returns up to ``pointset_limit`` distinct pin tuples (deduplicated
@@ -245,12 +246,13 @@ def feasible_point_sets(impl: Circuit, port: str, domain: SamplingDomain,
 
     ``checkpoint``, when given, is invoked before the symbolic
     computation and once per expanded prime cube; the run supervisor
-    passes its deadline check here.
+    passes its deadline check here.  ``trace`` records the enumeration
+    as a ``points.enumerate`` span.
     """
     return feasible_point_sets_joint(
         impl, {port: spec_value}, domain, candidate_pins, num_points,
         prime_limit=prime_limit, pointset_limit=pointset_limit,
-        checkpoint=checkpoint)
+        checkpoint=checkpoint, trace=trace)
 
 
 def feasible_point_sets_joint(impl: Circuit,
@@ -261,7 +263,7 @@ def feasible_point_sets_joint(impl: Circuit,
                               prime_limit: int = 8,
                               pointset_limit: int = 12,
                               checkpoint: Optional[Callable[[], None]] = None,
-                              ) -> List[Tuple[Pin, ...]]:
+                              trace=None) -> List[Tuple[Pin, ...]]:
     """Point-sets that rectify *all* given outputs simultaneously.
 
     The joint characteristic function conjoins the per-output equality
@@ -270,6 +272,25 @@ def feasible_point_sets_joint(impl: Circuit,
     view 'may occasionally overlook candidates that are more economical
     for multiple outputs'.
     """
+    with ensure_trace(trace).span(
+            "points.enumerate", outputs=",".join(spec_values),
+            m=num_points, pins=len(candidate_pins)) as _span:
+        result = _feasible_point_sets_joint(
+            impl, spec_values, domain, candidate_pins, num_points,
+            prime_limit, pointset_limit, checkpoint)
+        _span.tag(point_sets=len(result))
+        return result
+
+
+def _feasible_point_sets_joint(impl: Circuit,
+                               spec_values: Mapping[str, int],
+                               domain: SamplingDomain,
+                               candidate_pins: Sequence[Pin],
+                               num_points: int,
+                               prime_limit: int,
+                               pointset_limit: int,
+                               checkpoint: Optional[Callable[[], None]],
+                               ) -> List[Tuple[Pin, ...]]:
     if checkpoint is not None:
         checkpoint()
     manager = domain.manager

@@ -54,4 +54,11 @@ def format_patch_report(result: RectificationResult,
             lines.append(f"  {op.describe()}")
     else:
         lines.append("rewire operations: none (already equivalent)")
+
+    if result.trace is not None and getattr(result.trace, "spans", None):
+        from repro.obs.summary import brief_phase_lines
+        lines.append("phase breakdown (hottest first; "
+                     "full tree: repro trace <file>):")
+        for phase_line in brief_phase_lines(result.trace.records()):
+            lines.append(f"  {phase_line}")
     return "\n".join(lines)

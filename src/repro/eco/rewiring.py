@@ -26,6 +26,7 @@ from repro.netlist.circuit import Circuit, Pin
 from repro.netlist.traverse import transitive_fanout
 from repro.eco.config import EcoConfig
 from repro.eco.sampling import SamplingDomain
+from repro.obs.trace import ensure_trace
 
 
 @dataclass(frozen=True)
@@ -57,13 +58,15 @@ class RewiringContext:
                  spec_supports: Mapping[str, int],
                  impl_levels: Mapping[str, int],
                  spec_levels: Mapping[str, int],
-                 ports: Optional[Sequence[str]] = None):
+                 ports: Optional[Sequence[str]] = None,
+                 trace=None):
         self.impl = impl
         self.spec = spec
         self.port = port
         self.ports = list(ports) if ports else [port]
         self.domain = domain
         self.config = config
+        self.trace = ensure_trace(trace)
         self.impl_z = impl_z
         self.spec_z = spec_z
         self.impl_supports = impl_supports
@@ -102,6 +105,14 @@ class RewiringContext:
         ``forbidden`` removes implementation nets that other pins of the
         same point-set make unusable (cycle interactions).
         """
+        with self.trace.span("rewiring.candidates", pin=repr(pin)) as sp:
+            out = self._candidates_for_pin(pin, forbidden)
+            sp.tag(candidates=len(out))
+            return out
+
+    def _candidates_for_pin(self, pin: Pin,
+                            forbidden: Optional[Set[str]] = None
+                            ) -> List[RewireCandidate]:
         config = self.config
         manager = self.domain.manager
         driver = self.impl.pin_driver(pin)

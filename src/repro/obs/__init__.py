@@ -1,0 +1,65 @@
+"""Observability: hierarchical run tracing, exporters, summaries.
+
+The engine is instrumented with :class:`Trace` spans end to end — per
+failing output, point-set enumeration, candidate ranking, choice
+search, the simulation screen, every supervised SAT validation, every
+BDD session, resynthesis, and the degradation events.  A finished
+trace exports as JSONL, Chrome trace-event JSON (Perfetto /
+``chrome://tracing``), or a Prometheus-style metrics snapshot, and
+renders as a phase tree with SAT-conflict and BDD-node attribution
+(``repro trace <file>``).
+
+When no trace is requested the engine threads :data:`NULL_TRACE`,
+whose calls are inert — instrumentation costs one attribute lookup
+and one call per site.
+
+Like ``runtime``, this package sits at the bottom of the layering: it
+depends on the standard library only and is driven by ``eco`` and
+``cli``.
+"""
+
+from repro.obs.trace import (
+    NULL_TRACE,
+    Event,
+    NullTrace,
+    Span,
+    Trace,
+    ensure_trace,
+)
+from repro.obs.export import (
+    chrome_payload,
+    prometheus_text,
+    read_trace,
+    write_chrome,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.summary import (
+    HotOutput,
+    PhaseNode,
+    TraceSummary,
+    brief_phase_lines,
+    format_summary,
+    summarize,
+)
+
+__all__ = [
+    "NULL_TRACE",
+    "Event",
+    "NullTrace",
+    "Span",
+    "Trace",
+    "ensure_trace",
+    "chrome_payload",
+    "prometheus_text",
+    "read_trace",
+    "write_chrome",
+    "write_jsonl",
+    "write_prometheus",
+    "HotOutput",
+    "PhaseNode",
+    "TraceSummary",
+    "brief_phase_lines",
+    "format_summary",
+    "summarize",
+]

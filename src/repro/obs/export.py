@@ -1,0 +1,229 @@
+"""Trace exporters and the loader used by ``repro trace``.
+
+Three output formats:
+
+* **JSONL** — one record per line (a ``meta`` header, then spans and
+  events in timestamp order); trivially greppable and streamable.
+* **Chrome trace-event JSON** — a single object with ``traceEvents``
+  (complete ``"X"`` events for spans, instant ``"i"`` events), openable
+  directly in Perfetto (https://ui.perfetto.dev) or
+  ``chrome://tracing``.  Span ids, tags and counter deltas ride in
+  ``args`` so the file round-trips losslessly through
+  :func:`read_trace`.
+* **Prometheus text** — a point-in-time metrics snapshot: per-phase
+  time/call/conflict/node totals plus every run counter, suitable for
+  a textfile-collector scrape.
+
+:func:`read_trace` sniffs the format (JSONL vs. Chrome) and returns
+the canonical record list that :mod:`repro.obs.summary` consumes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.obs.summary import summarize
+
+
+def _records_of(trace_or_records) -> List[Dict[str, Any]]:
+    if hasattr(trace_or_records, "records"):
+        return trace_or_records.records()
+    return list(trace_or_records)
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def write_jsonl(trace_or_records, path: str) -> None:
+    """One canonical record per line."""
+    records = _records_of(trace_or_records)
+    with open(path, "w", encoding="utf-8") as fh:
+        for rec in records:
+            fh.write(json.dumps(rec, sort_keys=True, default=str))
+            fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event format
+# ----------------------------------------------------------------------
+_PID = 1
+_TID = 1
+
+
+def chrome_payload(trace_or_records) -> Dict[str, Any]:
+    """The Chrome trace-event object (before serialization)."""
+    records = _records_of(trace_or_records)
+    meta: Dict[str, Any] = {}
+    events: List[Dict[str, Any]] = []
+    for rec in records:
+        kind = rec.get("type")
+        if kind == "meta":
+            meta = {k: v for k, v in rec.items() if k != "type"}
+        elif kind == "span":
+            events.append({
+                "name": rec["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": rec["ts"] * 1e6,          # microseconds
+                "dur": rec.get("dur", 0.0) * 1e6,
+                "pid": _PID,
+                "tid": _TID,
+                "args": {
+                    "id": rec.get("id"),
+                    "parent": rec.get("parent"),
+                    "tags": rec.get("tags", {}),
+                    "counters": rec.get("counters", {}),
+                },
+            })
+        elif kind == "event":
+            events.append({
+                "name": rec["name"],
+                "cat": "repro",
+                "ph": "i",
+                "s": "t",
+                "ts": rec["ts"] * 1e6,
+                "pid": _PID,
+                "tid": _TID,
+                "args": {
+                    "span": rec.get("span"),
+                    "tags": rec.get("tags", {}),
+                },
+            })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": meta,
+    }
+
+
+def write_chrome(trace_or_records, path: str) -> None:
+    """Perfetto / ``chrome://tracing`` compatible JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_payload(trace_or_records), fh, default=str)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text snapshot
+# ----------------------------------------------------------------------
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def prometheus_text(trace_or_records) -> str:
+    """Per-phase and per-run metrics in Prometheus exposition format."""
+    records = _records_of(trace_or_records)
+    summary = summarize(records)
+
+    flat = []
+
+    def walk(node, path):
+        full = path + (node.name,)
+        flat.append(("/".join(full), node))
+        for c in node.children:
+            walk(c, full)
+
+    for root in summary.roots:
+        walk(root, ())
+
+    lines: List[str] = []
+
+    def emit(metric: str, mtype: str, help_: str,
+             samples: Sequence) -> None:
+        lines.append(f"# HELP {metric} {help_}")
+        lines.append(f"# TYPE {metric} {mtype}")
+        for labels, value in samples:
+            label_s = ""
+            if labels:
+                inner = ",".join(f'{k}="{_escape(str(v))}"'
+                                 for k, v in labels)
+                label_s = "{" + inner + "}"
+            lines.append(f"{metric}{label_s} {value}")
+
+    emit("repro_phase_seconds_total", "counter",
+         "wall seconds spent per phase (children included)",
+         [(((("phase", name),)), f"{node.seconds:.6f}")
+          for name, node in flat])
+    emit("repro_phase_calls_total", "counter",
+         "spans recorded per phase",
+         [(((("phase", name),)), node.calls) for name, node in flat])
+    emit("repro_phase_sat_conflicts_total", "counter",
+         "SAT conflicts attributed per phase",
+         [(((("phase", name),)), node.sat_conflicts)
+          for name, node in flat])
+    emit("repro_phase_bdd_nodes_total", "counter",
+         "BDD nodes attributed per phase",
+         [(((("phase", name),)), node.bdd_nodes) for name, node in flat])
+    emit("repro_run_wall_seconds", "gauge",
+         "wall time covered by the trace",
+         [((), f"{summary.wall_seconds:.6f}")])
+    emit("repro_run_degraded", "gauge",
+         "1 when the run degraded to the guaranteed fallback",
+         [((), int(summary.degraded))])
+    if summary.counters:
+        emit("repro_run_counter_total", "counter",
+             "final RunCounters values of the run",
+             [((("counter", k),), v)
+              for k, v in sorted(summary.counters.items())])
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(trace_or_records, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(prometheus_text(trace_or_records))
+
+
+# ----------------------------------------------------------------------
+# loading
+# ----------------------------------------------------------------------
+def read_trace(path: str) -> List[Dict[str, Any]]:
+    """Load a saved trace (JSONL or Chrome format) as canonical records."""
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        payload = None
+    if isinstance(payload, dict) and "traceEvents" in payload:
+        return _records_from_chrome(payload)
+    if isinstance(payload, dict):
+        return [payload]  # single-record JSONL file
+    records = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+def _records_from_chrome(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
+    meta = dict(payload.get("otherData") or {})
+    meta["type"] = "meta"
+    records: List[Dict[str, Any]] = [meta]
+    next_id = 1
+    for ev in payload.get("traceEvents", ()):
+        args = ev.get("args") or {}
+        if ev.get("ph") == "X":
+            span_id = args.get("id")
+            if span_id is None:
+                span_id = f"x{next_id}"
+                next_id += 1
+            records.append({
+                "type": "span",
+                "id": span_id,
+                "parent": args.get("parent"),
+                "name": ev.get("name", "?"),
+                "ts": ev.get("ts", 0.0) / 1e6,
+                "dur": ev.get("dur", 0.0) / 1e6,
+                "tags": args.get("tags", {}),
+                "counters": args.get("counters", {}),
+            })
+        elif ev.get("ph") == "i":
+            records.append({
+                "type": "event",
+                "name": ev.get("name", "?"),
+                "ts": ev.get("ts", 0.0) / 1e6,
+                "span": args.get("span"),
+                "tags": args.get("tags", {}),
+            })
+    return records

@@ -22,6 +22,7 @@ import logging
 from typing import Dict, List, Optional, Set
 
 from repro.errors import BddNodeLimitError, SatBudgetExceeded
+from repro.obs.trace import ensure_trace
 from repro.runtime.budget import RunBudget
 from repro.runtime.counters import RunCounters
 from repro.runtime.escalate import MIN_INITIAL, EscalationPolicy
@@ -48,15 +49,20 @@ class RunSupervisor:
             falls back (``None`` = unlimited).
         injector: fault injector consulted at every supervised site;
             ``None`` installs an inert one.
+        trace: a :class:`~repro.obs.trace.Trace` receiving BDD-session
+            and SAT-validation spans plus degradation events; ``None``
+            installs the no-op trace.
     """
 
     def __init__(self, budget: RunBudget, escalation: EscalationPolicy,
                  max_output_attempts: Optional[int] = None,
-                 injector: Optional[FaultInjector] = None):
+                 injector: Optional[FaultInjector] = None,
+                 trace=None):
         self.budget = budget
         self.escalation = escalation
         self.max_output_attempts = max_output_attempts
         self.injector = injector or FaultInjector()
+        self.trace = ensure_trace(trace)
         self.counters = RunCounters()
         self.degraded = False
         self.degrade_reason: Optional[str] = None
@@ -64,11 +70,12 @@ class RunSupervisor:
         self.cegar_cex: List[Dict[str, bool]] = []
         self._attempts: Dict[str, int] = {}
         self._capped: Set[str] = set()
+        self._bdd_spans: List = []
 
     # ------------------------------------------------------------------
     @classmethod
     def from_config(cls, config, injector: Optional[FaultInjector] = None,
-                    clock=None) -> "RunSupervisor":
+                    clock=None, trace=None) -> "RunSupervisor":
         """Build a supervisor from an ``EcoConfig``-shaped object.
 
         When an injector is given the wall clock is routed through it so
@@ -92,7 +99,7 @@ class RunSupervisor:
             deescalate_after=config.sat_deescalate_after)
         return cls(budget, escalation,
                    max_output_attempts=config.max_output_attempts,
-                   injector=injector)
+                   injector=injector, trace=trace)
 
     # ------------------------------------------------------------------
     # checkpoints and degradation
@@ -111,6 +118,7 @@ class RunSupervisor:
         if not self.degraded:
             self.degraded = True
             self.degrade_reason = reason
+            self.trace.event("run.degraded", reason=reason)
             logger.warning("run degraded: %s", reason)
 
     # ------------------------------------------------------------------
@@ -148,6 +156,10 @@ class RunSupervisor:
                 f"{self.injector.calls(SITE_BDD)}")
         limit = self.budget.grant_bdd(configured_limit)
         self.counters.bdd_sessions += 1
+        # the session span stays open until close_bdd; symbolic work
+        # performed inside the session nests under it in the trace
+        self._bdd_spans.append(
+            self.trace.span("bdd.session", limit=limit))
         return limit
 
     def close_bdd(self, manager) -> None:
@@ -155,6 +167,14 @@ class RunSupervisor:
         nodes = manager.num_nodes
         self.budget.charge_bdd(nodes)
         self.counters.bdd_nodes_spent += nodes
+        if self._bdd_spans:
+            span = self._bdd_spans.pop()
+            stats = getattr(manager, "stats", None)
+            if stats is not None:
+                span.tag(**stats())
+            else:
+                span.tag(nodes=nodes)
+            span.finish()
 
     # ------------------------------------------------------------------
     # supervised SAT validation
@@ -171,28 +191,42 @@ class RunSupervisor:
         """
         from repro.cec.equivalence import EquivalenceResult
 
+        verdict = {True: "equivalent", False: "counterexample",
+                   None: "unknown"}
         result = EquivalenceResult(None)
         resolved = False
-        for requested in self.escalation.attempt_budgets():
-            granted = self.budget.grant_sat(requested)
-            fault = self.injector.observe(SITE_SAT)
-            if fault is not None and fault.payload == FAULT_EXHAUST:
-                self.escalation.record(False)
-                raise SatBudgetExceeded(
-                    "fault injection: total SAT conflict budget spent at "
-                    f"call {self.injector.calls(SITE_SAT)}")
-            if fault is not None and fault.payload == FAULT_UNKNOWN:
-                result = EquivalenceResult(None)
-            else:
-                before = checker.solver.conflicts
-                result = checker.check_pair(port, conflict_budget=granted)
-                spent = checker.solver.conflicts - before
-                self.budget.charge_sat(spent)
-                self.counters.sat_conflicts_spent += spent
-            if result.equivalent is not None:
-                resolved = True
-                break
-            self.counters.sat_unknowns += 1
+        attempts = 0
+        conflicts = 0
+        with self.trace.span("sat.validate", port=port) as span:
+            try:
+                for requested in self.escalation.attempt_budgets():
+                    attempts += 1
+                    granted = self.budget.grant_sat(requested)
+                    fault = self.injector.observe(SITE_SAT)
+                    if fault is not None and fault.payload == FAULT_EXHAUST:
+                        self.escalation.record(False)
+                        raise SatBudgetExceeded(
+                            "fault injection: total SAT conflict budget "
+                            f"spent at call {self.injector.calls(SITE_SAT)}")
+                    if fault is not None and fault.payload == FAULT_UNKNOWN:
+                        result = EquivalenceResult(None)
+                    else:
+                        before = checker.solver.conflicts
+                        result = checker.check_pair(
+                            port, conflict_budget=granted)
+                        spent = checker.solver.conflicts - before
+                        self.budget.charge_sat(spent)
+                        self.counters.sat_conflicts_spent += spent
+                        conflicts += spent
+                    if result.equivalent is not None:
+                        resolved = True
+                        break
+                    self.counters.sat_unknowns += 1
+                    self.trace.event("sat.unknown", port=port,
+                                     budget=granted, attempt=attempts)
+            finally:
+                span.tag(attempts=attempts, conflicts=conflicts,
+                         result=verdict[result.equivalent])
         self.escalation.record(resolved)
         self.counters.sat_escalations = self.escalation.escalations
         self.counters.sat_deescalations = self.escalation.deescalations

@@ -1,0 +1,119 @@
+"""Exporter tests: JSONL / Chrome round-trips and the metrics snapshot."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    chrome_payload,
+    prometheus_text,
+    read_trace,
+    write_chrome,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.trace import Trace
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+@pytest.fixture
+def sample_trace():
+    clock = FakeClock()
+    trace = Trace(name="sample", clock=clock)
+    with trace.span("root", impl="sample"):
+        clock.t = 0.25
+        with trace.span("work", output="o1") as sp:
+            clock.t = 0.75
+            trace.event("hiccup", reason="test")
+            sp.tag(result="ok")
+        clock.t = 1.0
+    trace.meta.update(counters={"sat_conflicts_spent": 3}, degraded=False)
+    return trace
+
+
+class TestJsonl:
+    def test_round_trip(self, sample_trace, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        write_jsonl(sample_trace, path)
+        assert read_trace(path) == json.loads(
+            json.dumps(sample_trace.records()))
+
+    def test_one_record_per_line(self, sample_trace, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        write_jsonl(sample_trace, path)
+        lines = open(path).read().strip().splitlines()
+        assert len(lines) == len(sample_trace.records())
+        assert json.loads(lines[0])["type"] == "meta"
+
+
+class TestChrome:
+    def test_payload_shape(self, sample_trace):
+        payload = chrome_payload(sample_trace)
+        assert payload["displayTimeUnit"] == "ms"
+        complete = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        instants = [e for e in payload["traceEvents"] if e["ph"] == "i"]
+        assert len(complete) == 2
+        assert len(instants) == 1
+        work = next(e for e in complete if e["name"] == "work")
+        assert work["ts"] == pytest.approx(0.25e6)  # microseconds
+        assert work["dur"] == pytest.approx(0.5e6)
+        assert work["args"]["tags"] == {"output": "o1", "result": "ok"}
+
+    def test_file_is_single_valid_json(self, sample_trace, tmp_path):
+        path = str(tmp_path / "t.json")
+        write_chrome(sample_trace, path)
+        payload = json.loads(open(path).read())
+        assert "traceEvents" in payload
+        assert payload["otherData"]["name"] == "sample"
+
+    def test_round_trip_preserves_structure(self, sample_trace, tmp_path):
+        path = str(tmp_path / "t.json")
+        write_chrome(sample_trace, path)
+        records = read_trace(path)
+        direct = sample_trace.records()
+        assert [r["type"] for r in records] == [r["type"] for r in direct]
+        spans = [r for r in records if r["type"] == "span"]
+        by_name = {s["name"]: s for s in spans}
+        assert by_name["work"]["parent"] == by_name["root"]["id"]
+        assert by_name["work"]["ts"] == pytest.approx(0.25)
+        assert by_name["work"]["dur"] == pytest.approx(0.5)
+        (event,) = [r for r in records if r["type"] == "event"]
+        assert event["name"] == "hiccup"
+        assert event["span"] == by_name["work"]["id"]
+
+
+class TestPrometheus:
+    def test_snapshot_contents(self, sample_trace, tmp_path):
+        text = prometheus_text(sample_trace)
+        assert '# TYPE repro_phase_seconds_total counter' in text
+        assert 'repro_phase_calls_total{phase="root"} 1' in text
+        assert 'repro_phase_calls_total{phase="root/work"} 1' in text
+        assert 'repro_run_degraded 0' in text
+        assert ('repro_run_counter_total{counter="sat_conflicts_spent"} 3'
+                in text)
+        path = str(tmp_path / "m.prom")
+        write_prometheus(sample_trace, path)
+        assert open(path).read() == text
+
+    def test_label_escaping(self):
+        clock = FakeClock()
+        trace = Trace(name='we"ird\\name', clock=clock)
+        with trace.span('we"ird\\name'):
+            clock.t = 1.0
+        text = prometheus_text(trace)
+        assert 'phase="we\\"ird\\\\name"' in text
+
+
+class TestReadTrace:
+    def test_unknown_lines_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "meta", "name": "x"}\nnot json\n')
+        with pytest.raises(json.JSONDecodeError):
+            read_trace(str(path))

@@ -1,0 +1,102 @@
+"""Summary aggregation and rendering tests."""
+
+from repro.obs.summary import brief_phase_lines, format_summary, summarize
+
+
+def make_records():
+    """A hand-built record list: root with two phases, one repeated."""
+    return [
+        {"type": "meta", "name": "demo",
+         "counters": {"sat_conflicts_spent": 9, "fallbacks": 0},
+         "degraded": True},
+        {"type": "span", "id": 1, "parent": None, "name": "eco.rectify",
+         "ts": 0.0, "dur": 10.0, "tags": {}, "counters": {}},
+        {"type": "span", "id": 2, "parent": 1, "name": "eco.output",
+         "ts": 0.0, "dur": 6.0, "tags": {"output": "a", "how": "rewire"},
+         "counters": {"sat_conflicts_spent": 5, "bdd_nodes_spent": 100}},
+        {"type": "span", "id": 3, "parent": 1, "name": "eco.output",
+         "ts": 6.0, "dur": 3.5,
+         "tags": {"output": "b", "how": "fallback"},
+         "counters": {"sat_conflicts_spent": 4}},
+        {"type": "span", "id": 4, "parent": 2, "name": "sat.validate",
+         "ts": 1.0, "dur": 2.0, "tags": {"result": "equivalent"},
+         "counters": {"sat_conflicts_spent": 5}},
+        {"type": "event", "name": "run.degraded", "ts": 7.0, "span": 3,
+         "tags": {"reason": "deadline"}},
+    ]
+
+
+class TestSummarize:
+    def test_aggregation_by_name_path(self):
+        summary = summarize(make_records())
+        (root,) = summary.roots
+        assert root.name == "eco.rectify"
+        assert root.calls == 1
+        (output,) = root.children
+        assert output.name == "eco.output"
+        assert output.calls == 2               # collapsed repeats
+        assert output.seconds == 9.5
+        assert output.sat_conflicts == 9
+        assert output.bdd_nodes == 100
+        (sat,) = output.children
+        assert sat.name == "sat.validate"
+        assert sat.depth == 2
+
+    def test_coverage_is_child_fraction_of_root(self):
+        summary = summarize(make_records())
+        assert summary.coverage == 0.95        # 9.5 of 10.0
+
+    def test_hot_outputs_sorted_by_time(self):
+        summary = summarize(make_records())
+        assert [h.output for h in summary.hot_outputs] == ["a", "b"]
+        assert summary.hot_outputs[0].how == "rewire"
+        assert summary.hot_outputs[0].sat_conflicts == 5
+
+    def test_meta_flows_through(self):
+        summary = summarize(make_records())
+        assert summary.name == "demo"
+        assert summary.degraded is True
+        assert summary.counters["sat_conflicts_spent"] == 9
+        assert summary.wall_seconds == 10.0
+
+    def test_empty_records(self):
+        summary = summarize([])
+        assert summary.roots == []
+        assert summary.wall_seconds == 0.0
+        assert summary.coverage == 1.0
+
+    def test_orphan_span_becomes_root(self):
+        records = [
+            {"type": "span", "id": 7, "parent": 99, "name": "stray",
+             "ts": 0.0, "dur": 1.0, "tags": {}, "counters": {}},
+        ]
+        summary = summarize(records)
+        assert [r.name for r in summary.roots] == ["stray"]
+
+
+class TestFormatting:
+    def test_format_summary_layout(self):
+        text = format_summary(summarize(make_records()))
+        assert "DEGRADED" in text
+        assert "sat-conf" in text and "bdd-nodes" in text
+        lines = text.splitlines()
+        tree = [l for l in lines if "eco.output" in l]
+        assert tree and tree[0].startswith("  eco.output")  # indented
+        assert any("phase coverage : 95.0%" in l for l in lines)
+        assert any("run.degraded" in l and "reason=deadline" in l
+                   for l in lines)
+        assert any("hottest outputs:" in l for l in lines)
+
+    def test_event_overflow_elided(self):
+        records = make_records()
+        for i in range(12):
+            records.append({"type": "event", "name": f"e{i}", "ts": 8.0,
+                            "span": 1, "tags": {}})
+        text = format_summary(summarize(records), events=8)
+        assert "... 5 more" in text
+
+    def test_brief_phase_lines(self):
+        lines = brief_phase_lines(make_records(), limit=2)
+        assert len(lines) == 2
+        assert lines[0].startswith("eco.rectify")
+        assert "sat-conf=9" in lines[1]

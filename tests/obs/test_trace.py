@@ -1,0 +1,152 @@
+"""Unit tests of the span tracer: nesting, timing, counters, null mode."""
+
+import pytest
+
+from repro.obs.trace import NULL_TRACE, NullTrace, Trace, ensure_trace
+from repro.runtime.counters import RunCounters
+
+
+class FakeClock:
+    """A deterministic clock advancing only when told."""
+
+    def __init__(self):
+        self.t = 100.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestSpanTree:
+    def test_nesting_records_parent_ids(self):
+        trace = Trace(name="t", clock=FakeClock())
+        with trace.span("root") as root:
+            with trace.span("child") as child:
+                with trace.span("grand") as grand:
+                    pass
+        by_name = {s.name: s for s in trace.spans}
+        assert by_name["root"].parent_id is None
+        assert by_name["child"].parent_id == by_name["root"].span_id
+        assert by_name["grand"].parent_id == by_name["child"].span_id
+
+    def test_siblings_share_parent(self):
+        trace = Trace()
+        with trace.span("root") as root:
+            with trace.span("a"):
+                pass
+            with trace.span("b"):
+                pass
+        a, b = (s for s in trace.spans if s.name in ("a", "b"))
+        assert a.parent_id == b.parent_id == root.span_id
+
+    def test_timestamps_are_epoch_relative_and_monotonic(self):
+        clock = FakeClock()
+        trace = Trace(clock=clock)
+        clock.advance(1.0)
+        with trace.span("outer"):
+            clock.advance(0.5)
+            with trace.span("inner"):
+                clock.advance(0.25)
+        inner, outer = trace.spans  # finish order: inner first
+        assert inner.name == "inner"
+        assert outer.t_start == pytest.approx(1.0)
+        assert inner.t_start == pytest.approx(1.5)
+        assert inner.duration == pytest.approx(0.25)
+        assert outer.duration == pytest.approx(0.75)
+        assert trace.wall_seconds == pytest.approx(1.75)
+
+    def test_manual_begin_finish(self):
+        trace = Trace()
+        sp = trace.span("session", limit=10)
+        with trace.span("inside") as inner:
+            pass
+        assert inner.parent_id == sp.span_id
+        sp.tag(nodes=42).finish()
+        assert trace.spans[-1] is sp
+        assert sp.tags == {"limit": 10, "nodes": 42}
+        sp.finish()  # idempotent
+        assert trace.spans.count(sp) == 1
+
+    def test_exception_tags_error_and_closes_span(self):
+        trace = Trace()
+        with pytest.raises(ValueError):
+            with trace.span("work"):
+                raise ValueError("boom")
+        (span,) = trace.spans
+        assert span.tags["error"] == "ValueError"
+        assert span.t_end is not None
+
+
+class TestCounters:
+    def test_span_captures_nonzero_counter_deltas(self):
+        counters = RunCounters()
+        trace = Trace()
+        trace.set_counters(counters)
+        counters.sat_conflicts_spent += 5
+        with trace.span("phase"):
+            counters.sat_conflicts_spent += 7
+            counters.bdd_nodes_spent += 100
+        (span,) = trace.spans
+        assert span.counters["sat_conflicts_spent"] == 7
+        assert span.counters["bdd_nodes_spent"] == 100
+        # untouched counters don't clutter the delta
+        assert "fallbacks" not in span.counters
+
+    def test_unbound_trace_has_empty_counters(self):
+        trace = Trace()
+        with trace.span("phase"):
+            pass
+        assert trace.spans[0].counters == {}
+
+
+class TestEvents:
+    def test_event_attaches_to_open_span(self):
+        trace = Trace()
+        with trace.span("root") as root:
+            trace.event("thing.happened", detail=1)
+        (event,) = trace.events
+        assert event.span_id == root.span_id
+        assert event.tags == {"detail": 1}
+
+    def test_records_interleaves_spans_and_events(self):
+        clock = FakeClock()
+        trace = Trace(name="run", clock=clock)
+        with trace.span("root"):
+            clock.advance(1.0)
+            trace.event("midway")
+            clock.advance(1.0)
+        records = trace.records()
+        assert records[0]["type"] == "meta"
+        assert records[0]["name"] == "run"
+        kinds = [(r["type"], r["name"]) for r in records[1:]]
+        assert kinds == [("span", "root"), ("event", "midway")]
+
+
+class TestNullTrace:
+    def test_null_trace_records_nothing(self):
+        nt = NullTrace()
+        with nt.span("a", x=1) as sp:
+            sp.tag(y=2)
+            nt.event("e")
+        assert nt.spans == []
+        assert nt.events == []
+        assert nt.records() == []
+
+    def test_null_span_is_shared_and_inert(self):
+        assert NULL_TRACE.span("a") is NULL_TRACE.span("b")
+        assert NULL_TRACE.span("a").tags == {}
+
+    def test_null_meta_writes_vanish(self):
+        NULL_TRACE.meta.update(leak=True)
+        assert "leak" not in NULL_TRACE.meta
+
+    def test_ensure_trace(self):
+        assert ensure_trace(None) is NULL_TRACE
+        trace = Trace()
+        assert ensure_trace(trace) is trace
+
+    def test_enabled_flags(self):
+        assert Trace().enabled is True
+        assert NULL_TRACE.enabled is False

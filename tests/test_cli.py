@@ -78,6 +78,78 @@ class TestEco:
         assert "verified: True" in capsys.readouterr().out
 
 
+class TestObservability:
+    def test_trace_metrics_counters_written(self, eco_files, tmp_path,
+                                            capsys):
+        import json
+        impl_path, spec_path = eco_files
+        trace_path = str(tmp_path / "run.json")
+        metrics_path = str(tmp_path / "run.prom")
+        counters_path = str(tmp_path / "run.counters.json")
+        code = main(["eco", "--impl", impl_path, "--spec", spec_path,
+                     "--samples", "8",
+                     "--trace", trace_path, "--trace-format", "chrome",
+                     "--metrics", metrics_path,
+                     "--counters-json", counters_path])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phase breakdown" in out
+
+        payload = json.loads(open(trace_path).read())
+        assert any(e["ph"] == "X" for e in payload["traceEvents"])
+        assert "repro_phase_seconds_total" in open(metrics_path).read()
+        counters = json.loads(open(counters_path).read())
+        assert counters["verified"] is True
+        assert counters["degraded"] is False
+        assert counters["counters"]["sat_validations"] > 0
+        assert set(counters["per_output"].values()) <= {
+            "rewire", "joint-rewire", "fixed-by-earlier", "fallback",
+            "fallback-degraded"}
+
+    def test_trace_subcommand_prints_summary(self, eco_files, tmp_path,
+                                             capsys):
+        impl_path, spec_path = eco_files
+        trace_path = str(tmp_path / "run.jsonl")
+        assert main(["eco", "--impl", impl_path, "--spec", spec_path,
+                     "--samples", "8", "--trace", trace_path]) == 0
+        capsys.readouterr()
+        assert main(["trace", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "trace summary" in out
+        assert "eco.rectify" in out
+        assert "sat-conf" in out and "bdd-nodes" in out
+        assert "phase coverage" in out
+
+    def test_trace_warns_on_baseline_engine(self, eco_files, tmp_path,
+                                            capsys):
+        impl_path, spec_path = eco_files
+        trace_path = str(tmp_path / "run.jsonl")
+        assert main(["eco", "--impl", impl_path, "--spec", spec_path,
+                     "--engine", "conemap", "--trace", trace_path]) == 0
+        captured = capsys.readouterr()
+        assert "only supported by the syseco engine" in captured.err
+        assert not os.path.exists(trace_path)
+
+    def test_verbose_flag_enables_logging(self, eco_files, capsys):
+        import logging
+        impl_path, spec_path = eco_files
+        root = logging.getLogger()
+        before_level, before_handlers = (root.level, root.handlers[:])
+        try:
+            for h in root.handlers[:]:
+                root.removeHandler(h)
+            assert main(["-v", "eco", "--impl", impl_path,
+                         "--spec", spec_path, "--samples", "8"]) == 0
+            captured = capsys.readouterr()
+            assert "INFO repro.eco" in captured.err
+        finally:
+            root.setLevel(before_level)
+            for h in root.handlers[:]:
+                root.removeHandler(h)
+            for h in before_handlers:
+                root.addHandler(h)
+
+
 class TestTables:
     def test_single_case_table1(self, capsys):
         assert main(["tables", "--table", "1", "--cases", "2"]) == 0
