@@ -9,18 +9,25 @@ percent to roughly half of the outputs.
 
 import dataclasses
 
-from repro.bench.runner import table1_row
+from repro.bench.runner import lint_screen_stats, table1_row
 from repro.bench.tables import format_table1
+
+#: cases whose rectification is cheap enough to characterize the
+#: static patch screen alongside the (otherwise engine-free) table
+LINT_SCREEN_CASES = (2, 4, 5)
 
 
 def test_table1(benchmark, suite_cases, publish):
     rows = benchmark.pedantic(
         lambda: [table1_row(suite_cases[cid]) for cid in range(1, 12)],
         rounds=1, iterations=1)
+    screen_stats = [lint_screen_stats(suite_cases[cid])
+                    for cid in LINT_SCREEN_CASES]
     publish("table1.txt", format_table1(rows), data={
         "table": "table1",
         "wall_seconds": benchmark.stats.stats.mean,
         "rows": [dataclasses.asdict(r) for r in rows],
+        "lint_screen": screen_stats,
     })
 
     gates = [r.gates for r in rows]

@@ -11,7 +11,7 @@ its commercial reference as 'guidance'.
 
 from __future__ import annotations
 
-import time
+from repro.runtime.clock import now
 from typing import Optional
 
 from repro.netlist.circuit import Circuit, Pin
@@ -29,7 +29,7 @@ class ConeMap:
 
     def rectify(self, impl: Circuit, spec: Circuit) -> RectificationResult:
         """Replace every failing output's cone with its revised clone."""
-        started = time.time()
+        started = now()
         work = impl.copy()
         patch = Patch()
         failing = nonequivalent_outputs(work, spec)
@@ -51,6 +51,6 @@ class ConeMap:
             patched=work,
             patch=patch,
             verified_outputs=tuple(sorted(work.outputs)),
-            runtime_seconds=time.time() - started,
+            runtime_seconds=now() - started,
             per_output=per_output,
         )

@@ -30,7 +30,7 @@ comes from.
 from __future__ import annotations
 
 import random
-import time
+from repro.runtime.clock import now
 from typing import Dict, List, Optional, Set
 
 from repro.netlist.circuit import Circuit, Pin
@@ -92,7 +92,7 @@ class DeltaSyn:
     # ------------------------------------------------------------------
     def rectify(self, impl: Circuit, spec: Circuit) -> RectificationResult:
         """Compute and apply the logic difference."""
-        started = time.time()
+        started = now()
         work = impl.copy()
         patch = Patch()
 
@@ -169,6 +169,6 @@ class DeltaSyn:
             patched=work,
             patch=patch,
             verified_outputs=tuple(sorted(work.outputs)),
-            runtime_seconds=time.time() - started,
+            runtime_seconds=now() - started,
             per_output=per_output,
         )

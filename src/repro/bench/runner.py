@@ -2,9 +2,8 @@
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.netlist.stats import circuit_stats
 from repro.cec.equivalence import nonequivalent_outputs
@@ -16,7 +15,6 @@ from repro.baselines.deltasyn import DeltaSyn
 from repro.timing.sta import analyze
 from repro.workloads.suite import (
     EcoCase,
-    build_case,
     build_suite,
     build_timing_case,
     build_timing_suite,
@@ -82,6 +80,29 @@ def table1_row(case: EcoCase) -> Table1Row:
 def run_table1(ids: Optional[Sequence[int]] = None) -> List[Table1Row]:
     """All Table 1 rows (or a subset of case ids)."""
     return [table1_row(case) for case in build_suite(ids)]
+
+
+def lint_screen_stats(case: EcoCase,
+                      config: Optional[EcoConfig] = None) -> dict:
+    """Static-screen effectiveness of one syseco run on a case.
+
+    Runs the engine and reports how the pre-SAT lint screen spent its
+    checks: how many candidates it saw, how many it rejected before any
+    solver work, and the SAT/sim screen counts for comparison (the
+    benches' JSON twins record these per case).
+    """
+    result = SysEco(config or EcoConfig()).rectify(case.impl, case.spec)
+    counters = result.counters
+    screens = counters.lint_screens
+    rejects = counters.lint_rejects
+    return {
+        "case_id": case.case_id,
+        "lint_screens": screens,
+        "lint_rejects": rejects,
+        "lint_reject_rate": rejects / screens if screens else 0.0,
+        "sim_rejects": counters.sim_rejects,
+        "sat_validations": counters.sat_validations,
+    }
 
 
 # ----------------------------------------------------------------------

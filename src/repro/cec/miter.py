@@ -8,7 +8,7 @@ corresponding output pair and ORs the differences into a single output
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.errors import NetlistError
 from repro.netlist.circuit import Circuit

@@ -11,7 +11,7 @@ implementation logic', Section 5.2).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.netlist.circuit import Circuit
 from repro.netlist.gate import WORD_MASK

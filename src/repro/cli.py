@@ -9,6 +9,8 @@ Run ``python -m repro <command> --help``.  Commands:
   any of the three engines, writing the patched netlist and a patch
   report;
 * ``trace``  — summarize a trace file written by ``eco --trace``;
+* ``lint``   — static diagnostics: netlist analyzer, patch-op
+  legality, or the repo's own invariants (``--self``);
 * ``tables`` — regenerate the paper's tables on the scaled suite.
 
 All netlists are exchanged as BLIF; ``eco`` and ``synth`` can also emit
@@ -271,6 +273,12 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import run_lint
+
+    return run_lint(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -382,6 +390,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--suggest", action="store_true",
                    help="print suggested engine settings")
     p.set_defaults(func=_cmd_diagnose)
+
+    p = sub.add_parser(
+        "lint",
+        help="static diagnostics for netlists, patches and the repo's "
+             "own invariants")
+    from repro.lint.cli import add_lint_arguments
+    add_lint_arguments(p)
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("tables", help="regenerate the paper's tables")
     p.add_argument("--table", help="subset, e.g. '1' or '13'")

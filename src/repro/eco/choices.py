@@ -22,9 +22,9 @@ from __future__ import annotations
 
 import itertools
 import math
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.bdd.manager import BddManager, FALSE, TRUE
+from repro.bdd.manager import FALSE, TRUE
 from repro.netlist.circuit import Circuit, Pin
 from repro.netlist.traverse import topological_order
 from repro.eco.rewiring import RewireCandidate

@@ -32,12 +32,12 @@ from __future__ import annotations
 
 import logging
 import random
-import time
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import (
     BddNodeLimitError,
     EcoError,
+    PatchStructureError,
     ResourceBudgetExceeded,
 )
 from repro.bdd.manager import BddManager
@@ -65,9 +65,11 @@ from repro.eco.sweep import refine_patch_inputs
 from repro.eco.validate import (
     SimulationFilter,
     ValidationOutcome,
+    assert_patch_structure,
     validate_rewire,
 )
 from repro.obs.trace import Trace, ensure_trace
+from repro.runtime.clock import now
 from repro.runtime.faultinject import FaultInjector
 from repro.runtime.supervisor import RunSupervisor
 
@@ -107,7 +109,7 @@ class SysEco:
         receives the run's phase spans (see :mod:`repro.obs`); the
         finished trace is attached to the result.
         """
-        started = time.time()
+        started = now()
         trace = ensure_trace(trace)
         self._check_interfaces(impl, spec)
         config = self.config
@@ -198,6 +200,9 @@ class SysEco:
                              "; ".join(op.describe()
                                        for op in outcome.committed_ops))
                 work = outcome.patched
+                # post-commit structural assertion: the lint screen
+                # should make this unreachable
+                assert_patch_structure(work, outcome.committed_ops)
                 patch.record(outcome.committed_ops, outcome.clone_map,
                              outcome.new_gates)
                 for fixed_port in outcome.fixed:
@@ -232,7 +237,7 @@ class SysEco:
             patched=work,
             patch=patch,
             verified_outputs=tuple(sorted(work.outputs)),
-            runtime_seconds=time.time() - started,
+            runtime_seconds=now() - started,
             per_output=per_output,
             counters=run.counters,
             degraded=run.degraded,
@@ -427,6 +432,8 @@ class SysEco:
                     ]
                     if not ops:
                         continue
+                    if not self._lint_screen(run, ctx, ops, port):
+                        continue
                     if not self._screen(run, sim_filter, ops, port,
                                         failing):
                         run.counters.sim_rejects += 1
@@ -562,6 +569,9 @@ class SysEco:
                                if not cand.trivial]
                         if not ops:
                             continue
+                        if not self._lint_screen(run, ctx, ops,
+                                                 group[0]):
+                            continue
                         if not all(self._screen(run, sim_filter, ops, p,
                                                 failing)
                                    for p in group):
@@ -620,6 +630,29 @@ class SysEco:
             ok = sim_filter.passes(ops, port, failing)
             sp.tag(passed=ok)
             return ok
+
+    @staticmethod
+    def _lint_screen(run: RunSupervisor, ctx: RewiringContext,
+                     ops: List[RewireOp], port: str) -> bool:
+        """Static legality screen before any simulation or SAT spend.
+
+        The context's :class:`~repro.lint.patch_rules.PatchScreen`
+        proves the candidate cannot close a combinational cycle and
+        that every pin/source is structurally sound — rejecting here
+        costs a graph walk over already-built adjacency instead of a
+        solver call.
+        """
+        with run.trace.span("lint.screen", output=port,
+                            ops=len(ops)) as sp:
+            report = ctx.screen.check_ops(ops)
+            ok = report.ok
+            sp.tag(passed=ok)
+            if not ok:
+                sp.tag(codes=",".join(sorted(report.codes())))
+        run.counters.lint_screens += 1
+        if not ok:
+            run.counters.lint_rejects += 1
+        return ok
 
     # ------------------------------------------------------------------
     def _make_sim_filter(self, work: Circuit, spec: Circuit,
@@ -758,7 +791,10 @@ class _Commit:
 
     @property
     def patched(self) -> Circuit:
-        assert self.outcome.patched is not None
+        if self.outcome.patched is None:
+            raise PatchStructureError(
+                "commit built from an invalid validation outcome "
+                "(no patched circuit)")
         return self.outcome.patched
 
     @property

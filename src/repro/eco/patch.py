@@ -19,7 +19,6 @@ Patch attributes follow the paper's Table 2 columns:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 

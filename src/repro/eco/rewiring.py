@@ -19,11 +19,11 @@ point-set size collapses gracefully (Section 5.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Set
+from typing import List, Mapping, Optional, Sequence, Set
 
 from repro.bdd.manager import FALSE
+from repro.lint.patch_rules import PatchScreen
 from repro.netlist.circuit import Circuit, Pin
-from repro.netlist.traverse import transitive_fanout
 from repro.eco.config import EcoConfig
 from repro.eco.sampling import SamplingDomain
 from repro.obs.trace import ensure_trace
@@ -88,6 +88,13 @@ class RewiringContext:
         self.error_region = manager.and_(diff, domain.valid_codes())
         self.error_count = max(1, domain.count_in_domain(diff))
 
+        # static patch screen: shared sink adjacency and memoized fanout
+        # cones back the candidate filter here and the engine's pre-SAT
+        # legality check
+        self.screen = PatchScreen(
+            impl, spec=spec, supports=impl_supports,
+            spec_support_mask=self.spec_support_mask)
+
     def utility(self, driver_z: int, candidate_z: int) -> float:
         """The Section 4.3 ratio on the sampled error domain."""
         manager = self.domain.manager
@@ -118,11 +125,12 @@ class RewiringContext:
         driver = self.impl.pin_driver(pin)
         driver_z = self.impl_z[driver]
 
-        # nets whose fanout cone includes the pin's gate would cycle
+        # nets whose fanout cone includes the pin's gate would cycle;
+        # the screen memoizes the cone so repeated pins are O(1)
         if pin.is_output_port:
             unreachable: Set[str] = set()
         else:
-            unreachable = transitive_fanout(self.impl, [pin.owner])
+            unreachable = self.screen.fanout_cone(pin.owner)
 
         scored: List[RewireCandidate] = []
         if config.use_impl_nets:

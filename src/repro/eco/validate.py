@@ -15,19 +15,44 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.errors import PatchStructureError
 from repro.netlist.circuit import Circuit, Pin
 from repro.netlist.gate import eval_gate
 from repro.netlist.simulate import simulate_words
 from repro.netlist.traverse import (
     dependent_outputs,
     topological_order,
-    transitive_fanin,
     transitive_fanout,
 )
 from repro.cec.equivalence import PairwiseChecker
 from repro.eco.patch import RewireOp
 
 CLONE_PREFIX = "eco$"
+
+
+def assert_patch_structure(patched: Circuit,
+                           ops: Sequence[RewireOp]) -> None:
+    """Post-commit structural assertion on a patched circuit.
+
+    Runs the error tier of the netlist analyzer
+    (:func:`repro.lint.netlist_rules.lint_netlist` with ``deep=False``)
+    on the circuit a patch produced and raises
+    :class:`~repro.errors.PatchStructureError` carrying the diagnostics
+    when any error-severity finding exists.  The pre-SAT screen should
+    make this unreachable; it is the engine's safety net against screen
+    bugs, not a user-facing validator.
+    """
+    from repro.lint.netlist_rules import lint_netlist
+
+    report = lint_netlist(patched, deep=False)
+    bad = report.errors
+    if bad:
+        raise PatchStructureError(
+            f"patch of {len(ops)} rewire op(s) left circuit "
+            f"{patched.name!r} ill-formed: "
+            + "; ".join(d.render() for d in bad),
+            diagnostics=bad,
+        )
 
 
 def topological_constraint_ok(impl: Circuit, pins: Sequence[Pin]) -> bool:

@@ -19,7 +19,8 @@ clause::
     │   ├── SatBudgetExceeded
     │   └── DeadlineExceeded
     └── EcoError
-        └── RectificationInfeasible
+        ├── RectificationInfeasible
+        └── PatchStructureError
 
 :class:`BddNodeLimitError` deliberately inherits from both
 :class:`BddError` (it is a BDD-layer condition) and
@@ -29,6 +30,8 @@ graceful degradation catches the latter, and both keep working.
 """
 
 from __future__ import annotations
+
+from typing import Iterable, List, Optional
 
 
 class ReproError(Exception):
@@ -88,3 +91,24 @@ class EcoError(ReproError):
 
 class RectificationInfeasible(EcoError):
     """No rewire operation rectifies the requested output."""
+
+
+class PatchStructureError(EcoError):
+    """A patch would corrupt the netlist structurally.
+
+    Raised when static analysis (:mod:`repro.lint`) proves a rewire-op
+    set illegal — it would introduce a combinational cycle, reference a
+    missing source net, or leave the patched circuit ill-formed.  The
+    offending :class:`repro.lint.diag.Diagnostic` objects ride along in
+    ``diagnostics`` so callers can render or serialize them.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        diagnostics: Optional[Iterable[object]] = None,
+    ):
+        super().__init__(message)
+        self.diagnostics: List[object] = (
+            list(diagnostics) if diagnostics is not None else []
+        )

@@ -14,7 +14,7 @@ names, not gate structure.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.errors import ParseError
 from repro.netlist.circuit import Circuit

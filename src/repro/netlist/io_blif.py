@@ -9,7 +9,7 @@ write every gate type maps to an equivalent cover.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.errors import ParseError
 from repro.netlist.circuit import Circuit
@@ -233,22 +233,42 @@ def _gate_cover(gtype: GateType, n: int) -> str:
 
 
 def dumps_blif(circuit: Circuit) -> str:
-    """Serialize a circuit to BLIF text."""
+    """Serialize a circuit to BLIF text.
+
+    Output ports observe nets; BLIF outputs are nets themselves, so a
+    port whose name differs from its net needs an alias buffer.  An
+    internal net that shares its name with such a port (lint code
+    ``NL004``, common after an output-port rewire) would then be
+    defined twice, so it is written under a mangled name instead.
+    """
+    rename: dict = {}
+    taken = set(circuit.inputs) | set(circuit.gates) | set(circuit.outputs)
+    for port, net in circuit.outputs.items():
+        if port != net and circuit.has_net(port):
+            fresh = f"{port}__shadow"
+            while fresh in taken:
+                fresh += "_"
+            taken.add(fresh)
+            rename[port] = fresh
+
+    def nm(net: str) -> str:
+        return rename.get(net, net)
+
     parts: List[str] = [f".model {circuit.name}\n"]
     if circuit.inputs:
-        parts.append(".inputs " + " ".join(circuit.inputs) + "\n")
+        parts.append(".inputs " + " ".join(nm(n) for n in circuit.inputs)
+                     + "\n")
     out_ports = list(circuit.outputs)
     if out_ports:
         parts.append(".outputs " + " ".join(out_ports) + "\n")
     for name in topological_order(circuit):
         gate = circuit.gates[name]
-        parts.append(".names " + " ".join(list(gate.fanins) + [name]) + "\n")
+        parts.append(".names " + " ".join(
+            [nm(f) for f in gate.fanins] + [nm(name)]) + "\n")
         parts.append(_gate_cover(gate.gtype, len(gate.fanins)))
-    # Output ports observe nets; BLIF outputs are nets themselves, so a
-    # port whose name differs from its net needs a buffer.
     for port, net in circuit.outputs.items():
         if port != net:
-            parts.append(f".names {net} {port}\n1 1\n")
+            parts.append(f".names {nm(net)} {port}\n1 1\n")
     parts.append(".end\n")
     return "".join(parts)
 

@@ -10,7 +10,7 @@ sampling of Section 5.1, the rectification-utility heuristic of Section
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.errors import NetlistError
 from repro.netlist.circuit import Circuit

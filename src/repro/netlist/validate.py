@@ -1,8 +1,12 @@
 """Well-formedness checks (Section 3.1).
 
 A circuit is *well-formed* when every pin is connected to an existing
-net, the netlist is acyclic, and names are consistent.  ``validate``
-raises with a precise message; ``is_well_formed`` is the Boolean view.
+net, the netlist is acyclic, and names are consistent.  The actual
+rules live in :mod:`repro.lint.netlist_rules` (the ``NL0xx`` error
+tier); this module keeps the historical convenience surface:
+``validate`` raises with a precise message, ``is_well_formed`` is the
+Boolean view, and ``validation_problems`` returns the messages as
+plain strings.
 """
 
 from __future__ import annotations
@@ -11,38 +15,20 @@ from typing import List
 
 from repro.errors import NetlistError
 from repro.netlist.circuit import Circuit
-from repro.netlist.traverse import topological_order
 
 
 def validation_problems(circuit: Circuit) -> List[str]:
-    """All well-formedness violations, as human-readable strings."""
-    problems: List[str] = []
-    seen = set(circuit.inputs)
-    if len(seen) != len(circuit.inputs):
-        problems.append("duplicate primary input names")
-    for name, gate in circuit.gates.items():
-        if name != gate.name:
-            problems.append(f"gate key {name!r} != gate name {gate.name!r}")
-        if name in seen:
-            problems.append(f"net name {name!r} is both input and gate")
-        if not gate.gtype.arity_ok(len(gate.fanins)):
-            problems.append(
-                f"gate {name!r}: arity {len(gate.fanins)} invalid for "
-                f"{gate.gtype.value}"
-            )
-        for i, f in enumerate(gate.fanins):
-            if not circuit.has_net(f):
-                problems.append(f"gate {name!r} pin {i}: dangling net {f!r}")
-    for port, net in circuit.outputs.items():
-        if not circuit.has_net(net):
-            problems.append(f"output {port!r}: dangling net {net!r}")
-    if not circuit.outputs:
-        problems.append("circuit has no outputs")
-    try:
-        topological_order(circuit)
-    except NetlistError as exc:
-        problems.append(str(exc))
-    return problems
+    """All well-formedness violations, as human-readable strings.
+
+    Only error-severity findings count: the ``NL004`` port/net
+    collision is a serialization hazard the writers handle, not an
+    in-memory defect, so it keeps its historical non-fatal status here.
+    """
+    from repro.lint.diag import Severity
+    from repro.lint.netlist_rules import well_formedness
+
+    return [d.message for d in well_formedness(circuit)
+            if d.severity is Severity.ERROR]
 
 
 def validate(circuit: Circuit) -> None:

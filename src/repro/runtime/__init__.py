@@ -19,6 +19,7 @@ of the layering next to ``netlist`` / ``bdd`` / ``sat``.
 """
 
 from repro.runtime.budget import RunBudget
+from repro.runtime.clock import now
 from repro.runtime.counters import RunCounters
 from repro.runtime.escalate import EscalationPolicy
 from repro.runtime.faultinject import (
@@ -36,6 +37,7 @@ from repro.runtime.supervisor import RunSupervisor
 
 __all__ = [
     "RunBudget",
+    "now",
     "RunCounters",
     "EscalationPolicy",
     "Fault",

@@ -1,0 +1,19 @@
+"""The sanctioned wall-clock read.
+
+Everything outside :mod:`repro.runtime` that wants wall-clock time
+calls :func:`now` instead of ``time.time()`` — the repo invariant
+``RI001`` (see :mod:`repro.lint.pylint_rules`) enforces this.  Keeping
+every read behind one function means deadline supervision, runtime
+accounting and fault-injected clocks observe the same time source, and
+tests can patch a single seam.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def now() -> float:
+    """Seconds since the epoch (``time.time()``), via the one
+    sanctioned call site."""
+    return time.time()

@@ -20,6 +20,8 @@ class RunCounters:
     Search effort (the ablation benches read these):
 
     * ``choices`` — rewiring-choice assignments examined;
+    * ``lint_screens`` — candidates checked by the static patch screen;
+    * ``lint_rejects`` — candidates it rejected before any solver work;
     * ``sim_rejects`` — candidates dropped by the simulation screen;
     * ``sat_validations`` — full-domain SAT validations performed;
     * ``point_sets`` — candidate point-sets enumerated;
@@ -41,6 +43,8 @@ class RunCounters:
     """
 
     choices: int = 0
+    lint_screens: int = 0
+    lint_rejects: int = 0
     sim_rejects: int = 0
     sat_validations: int = 0
     point_sets: int = 0

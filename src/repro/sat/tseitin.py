@@ -9,7 +9,7 @@ build their instances.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
 from repro.errors import SatError
 from repro.netlist.circuit import Circuit

@@ -7,7 +7,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.bdd.cube import Cube
 from repro.bdd.manager import FALSE, TRUE, BddManager
-from repro.bdd.primes import all_primes, enumerate_primes, expand_to_prime
+from repro.bdd.primes import all_primes, expand_to_prime
 
 
 def from_table(m: BddManager, table: int, n: int) -> int:

@@ -4,7 +4,7 @@ import itertools
 
 import pytest
 
-from repro.bdd.manager import FALSE, TRUE, BddManager
+from repro.bdd.manager import FALSE, BddManager
 from repro.eco.points import (
     PointSelector,
     compute_h_function,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import EcoError
-from repro.bdd.manager import FALSE, TRUE, BddManager
+from repro.bdd.manager import TRUE, BddManager
 from repro.eco.sampling import SamplingDomain
 from repro.netlist.circuit import Circuit
 from repro.netlist.simulate import evaluate_outputs

@@ -1,0 +1,119 @@
+"""CLI tests: `repro lint` and `python -m repro.lint`."""
+
+import json
+
+from repro.cli import main as repro_main
+from repro.lint.cli import main as lint_main
+from repro.netlist.circuit import Circuit
+from repro.netlist.io_blif import write_blif
+
+
+def good(tmp_path, name="c.blif"):
+    c = Circuit("good")
+    c.add_inputs(["a", "b"])
+    c.and_("a", "b", name="g")
+    c.set_output("o", "g")
+    path = tmp_path / name
+    write_blif(c, str(path))
+    return path
+
+
+def bad(tmp_path):
+    # written by hand: no .outputs line — the reader accepts this, but
+    # the circuit is ill-formed (NL008).  Cyclic/dangling files cannot
+    # be used here because read_blif itself rejects them at parse time.
+    path = tmp_path / "bad.blif"
+    path.write_text(
+        ".model bad\n"
+        ".inputs a b\n"
+        ".names a b g\n11 1\n"
+        ".end\n")
+    return path
+
+
+class TestNetlistMode:
+    def test_clean_netlist_exits_zero(self, tmp_path, capsys):
+        rc = lint_main([str(good(tmp_path))])
+        assert rc == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_ill_formed_netlist_exits_one(self, tmp_path, capsys):
+        rc = lint_main([str(bad(tmp_path))])
+        assert rc == 1
+        assert "NL008" in capsys.readouterr().out
+
+    def test_json_format_and_output_file(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        rc = lint_main([str(good(tmp_path)), "--format", "json",
+                        "-o", str(out)])
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert payload["tool"] == "netlist"
+        assert payload["ok"] is True
+        # stdout carries the same rendering
+        assert json.loads(capsys.readouterr().out) == payload
+
+    def test_multiple_netlists_wrapped(self, tmp_path, capsys):
+        rc = lint_main([str(good(tmp_path)), str(bad(tmp_path)),
+                        "--format", "json"])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "lint"
+        assert payload["ok"] is False
+        assert len(payload["reports"]) == 2
+
+
+class TestPatchMode:
+    def test_cyclic_ops_rejected(self, tmp_path, capsys):
+        impl = good(tmp_path)
+        ops = tmp_path / "ops.json"
+        ops.write_text(json.dumps(
+            [{"pin": "gate:g:0", "source": "g"}]))
+        rc = lint_main(["--impl", str(impl), "--patch-ops", str(ops)])
+        assert rc == 1
+        assert "PA001" in capsys.readouterr().out
+
+    def test_patch_ops_require_impl(self, capsys):
+        rc = lint_main(["--patch-ops", "ops.json"])
+        assert rc == 2
+
+    def test_legal_ops_pass(self, tmp_path, capsys):
+        impl = good(tmp_path)
+        ops = tmp_path / "ops.json"
+        ops.write_text(json.dumps(
+            [{"pin": "output:o", "source": "a"}]))
+        rc = lint_main(["--impl", str(impl), "--patch-ops", str(ops)])
+        assert rc == 0
+
+
+class TestSelfMode:
+    def test_self_is_clean(self, capsys):
+        rc = lint_main(["--self"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "self lint" in out
+
+    def test_self_json(self, capsys):
+        rc = lint_main(["--self", "--format", "json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "self"
+        assert payload["ok"] is True
+
+    def test_root_override_flags_violations(self, tmp_path, capsys):
+        pkg = tmp_path / "repro"
+        pkg.mkdir()
+        (pkg / "bad.py").write_text("import time\nt = time.time()\n")
+        rc = lint_main(["--self", "--root", str(pkg)])
+        assert rc == 1
+        assert "RI001" in capsys.readouterr().out
+
+
+class TestMainCli:
+    def test_repro_lint_subcommand(self, tmp_path, capsys):
+        rc = repro_main(["lint", str(good(tmp_path))])
+        assert rc == 0
+
+    def test_nothing_to_lint_is_usage_error(self, capsys):
+        rc = lint_main([])
+        assert rc == 2

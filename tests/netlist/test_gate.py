@@ -6,7 +6,6 @@ from repro.errors import NetlistError
 from repro.netlist.gate import (
     Gate,
     GateType,
-    WORD_BITS,
     WORD_MASK,
     eval_gate,
     eval_gate_bool,

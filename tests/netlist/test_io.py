@@ -49,6 +49,31 @@ class TestBlifRoundTrip:
         back = read_blif(path)
         assert exhaustive_equivalent(tiny_adder, back)
 
+    def test_port_net_collision_round_trips(self):
+        # port 'o' observes 'g' while an unrelated net 'o' exists
+        # (NL004) — the engine's output-port fallback leaves exactly
+        # this shape behind; the writer must mangle, not double-define
+        c = Circuit("collide")
+        c.add_inputs(["a", "b"])
+        c.and_("a", "b", name="o")
+        c.or_("a", "b", name="g")
+        c.not_("o", name="keep")        # the colliding net stays live
+        c.set_output("o", "g")
+        c.set_output("k", "keep")
+        back = loads_blif(dumps_blif(c))
+        assert is_well_formed(back)
+        assert exhaustive_equivalent(c, back)
+
+    def test_input_port_collision_round_trips(self):
+        # the colliding net is a primary input: 'a' feeds logic while
+        # output port 'a' observes a different net
+        c = Circuit("collide_in")
+        c.add_inputs(["a", "b"])
+        c.or_("a", "b", name="g")
+        c.set_output("a", "g")
+        back = loads_blif(dumps_blif(c))
+        assert is_well_formed(back)
+
 
 class TestBlifParsing:
     def test_model_name(self):

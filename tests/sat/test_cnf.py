@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ParseError, SatError
 from repro.sat.cnf import Cnf, parse_dimacs, to_dimacs
-from repro.sat.solver import SAT, UNSAT, Solver
+from repro.sat.solver import UNSAT, Solver
 
 
 class TestCnf:

@@ -5,7 +5,7 @@ import os
 import pytest
 
 from repro.cli import main
-from repro.netlist import dumps_blif, loads_blif, read_blif, write_blif
+from repro.netlist import read_blif, write_blif
 from repro.workloads.figures import example1_circuits
 from tests.conftest import exhaustive_equivalent
 

@@ -5,12 +5,7 @@ import pytest
 from repro.cec.equivalence import nonequivalent_outputs
 from repro.netlist.validate import is_well_formed
 from repro.workloads.figures import example1_circuits, figure1_circuits
-from repro.workloads.suite import (
-    build_case,
-    build_suite,
-    build_timing_case,
-    build_timing_suite,
-)
+from repro.workloads.suite import build_case, build_suite, build_timing_case
 from repro.errors import ReproError
 
 
