@@ -21,14 +21,16 @@ def test_table1(benchmark, suite_cases, publish):
     rows = benchmark.pedantic(
         lambda: [table1_row(suite_cases[cid]) for cid in range(1, 12)],
         rounds=1, iterations=1)
-    screen_stats = [lint_screen_stats(suite_cases[cid])
+    run_records = []
+    screen_stats = [lint_screen_stats(suite_cases[cid],
+                                      run_records=run_records)
                     for cid in LINT_SCREEN_CASES]
     publish("table1.txt", format_table1(rows), data={
         "table": "table1",
         "wall_seconds": benchmark.stats.stats.mean,
         "rows": [dataclasses.asdict(r) for r in rows],
         "lint_screen": screen_stats,
-    })
+    }, run_records=run_records)
 
     gates = [r.gates for r in rows]
     # size spread: largest case well over an order of magnitude above

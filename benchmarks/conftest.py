@@ -8,7 +8,6 @@ set of numbers.
 
 from __future__ import annotations
 
-import json
 import os
 from typing import Dict
 
@@ -45,21 +44,20 @@ def results_dir() -> str:
 def publish(results_dir):
     """Callable that prints a rendered table and persists it.
 
-    When ``data`` is given, a machine-readable JSON twin is written
-    next to the text file (``table1.txt`` -> ``table1.json``) so result
-    tracking across runs doesn't have to re-parse rendered tables.
+    Delegates to :func:`repro.bench.runner.publish`: when ``data`` is
+    given, a machine-readable JSON twin is written next to the text
+    file (``table1.txt`` -> ``table1.json``) so result tracking across
+    runs doesn't have to re-parse rendered tables, and any
+    ``run_records`` land in the persistent run store
+    (``$REPRO_RUN_STORE`` or ``.repro/runs``, see ``repro runs``).
     """
+    from repro.bench.runner import publish as publish_results
 
-    def _publish(name: str, text: str, data=None) -> None:
+    def _publish(name: str, text: str, data=None,
+                 run_records=()) -> None:
         print()
         print(text)
-        path = os.path.join(results_dir, name)
-        with open(path, "w", encoding="utf-8") as fh:
-            fh.write(text + "\n")
-        if data is not None:
-            json_path = os.path.splitext(path)[0] + ".json"
-            with open(json_path, "w", encoding="utf-8") as fh:
-                json.dump(data, fh, indent=2, sort_keys=True)
-                fh.write("\n")
+        publish_results(name, text, data=data, results_dir=results_dir,
+                        run_records=run_records)
 
     return _publish

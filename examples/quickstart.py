@@ -11,7 +11,9 @@ Run:  python examples/quickstart.py
 Pass ``--trace run.json --trace-format chrome`` to record a span trace
 of the run (open it in Perfetto / ``chrome://tracing``, or summarize it
 with ``python -m repro trace run.json``), and ``--metrics run.prom``
-for a Prometheus-style metrics snapshot.
+for a Prometheus-style metrics snapshot.  ``--store [DIR]`` publishes
+the run into the persistent run store so ``python -m repro runs
+list|show|diff|regress`` can track it across invocations.
 """
 
 import argparse
@@ -43,6 +45,11 @@ def parse_args() -> argparse.Namespace:
                         default="jsonl")
     parser.add_argument("--metrics", metavar="FILE",
                         help="write a Prometheus-style metrics snapshot")
+    parser.add_argument("--store", metavar="DIR", nargs="?",
+                        const="", default=None,
+                        help="publish the run into the run store "
+                             "(default dir: $REPRO_RUN_STORE or "
+                             ".repro/runs)")
     return parser.parse_args()
 
 
@@ -52,7 +59,7 @@ def main() -> None:
     impl = build_implementation()
 
     trace = None
-    if args.trace or args.metrics:
+    if args.trace or args.metrics or args.store is not None:
         from repro.obs import Trace
         trace = Trace(name=impl.name)
 
@@ -86,6 +93,16 @@ def main() -> None:
         if args.metrics:
             write_prometheus(trace, args.metrics)
             print(f"wrote {args.metrics} (metrics snapshot)")
+
+    if args.store is not None:
+        from repro.obs import RunStore, record_from_result
+        record = record_from_result(
+            result, trace=trace, kind="quickstart", name=impl.name,
+            config=engine.config,
+            outcome="ok" if verdict.equivalent is True else "failed")
+        store = RunStore(args.store or None)
+        store.publish(record)
+        print(f"recorded run {record.run_id} (store: {store.root})")
 
 
 if __name__ == "__main__":

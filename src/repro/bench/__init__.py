@@ -11,9 +11,12 @@ from repro.bench.runner import (
     Table1Row,
     Table2Row,
     Table3Row,
+    lint_screen_stats,
+    publish,
     table1_row,
     table2_row,
     table3_row,
+    traced_case_run,
     run_table1,
     run_table2,
     run_table3,
@@ -29,9 +32,12 @@ __all__ = [
     "Table1Row",
     "Table2Row",
     "Table3Row",
+    "lint_screen_stats",
+    "publish",
     "table1_row",
     "table2_row",
     "table3_row",
+    "traced_case_run",
     "run_table1",
     "run_table2",
     "run_table3",

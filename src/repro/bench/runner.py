@@ -1,9 +1,19 @@
-"""Computation of the paper's table rows on the scaled suite."""
+"""Computation of the paper's table rows on the scaled suite.
+
+Besides the table rows, this module is the benches' publication seam:
+:func:`publish` persists a rendered table (plus its JSON twin) under
+``benchmarks/results/`` and pushes any :class:`~repro.obs.store.RunRecord`
+the bench produced into the persistent run store, and
+:func:`traced_case_run` performs one traced, telemetry-sampled engine
+run on a case and hands back both the result and its run record.
+"""
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.netlist.stats import circuit_stats
 from repro.cec.equivalence import nonequivalent_outputs
@@ -82,16 +92,75 @@ def run_table1(ids: Optional[Sequence[int]] = None) -> List[Table1Row]:
     return [table1_row(case) for case in build_suite(ids)]
 
 
+def traced_case_run(case: EcoCase,
+                    config: Optional[EcoConfig] = None,
+                    kind: str = "bench",
+                    tags: Optional[dict] = None) -> Tuple[object, object]:
+    """One traced, telemetry-sampled syseco run on a case.
+
+    Returns ``(result, record)`` where ``record`` is the
+    :class:`~repro.obs.store.RunRecord` of the run — phase summary,
+    ``obs.sample`` counter timeline, final counters — ready for
+    :func:`publish` to push into the run store.
+    """
+    from repro.obs import Trace, record_from_result
+
+    cfg = config or EcoConfig()
+    trace = Trace(name=f"case{case.case_id}")
+    result = SysEco(cfg).rectify(case.impl, case.spec, trace=trace)
+    record = record_from_result(
+        result, trace=trace, kind=kind, name=f"case{case.case_id}",
+        config=cfg, tags=dict(tags or {}))
+    return result, record
+
+
+def publish(name: str, text: str, data=None,
+            results_dir: str = os.path.join("benchmarks", "results"),
+            store=None, run_records: Sequence[object] = ()) -> str:
+    """Persist a rendered bench table; returns the text file's path.
+
+    Writes ``text`` to ``results_dir/name`` and, when ``data`` is
+    given, a machine-readable JSON twin next to it (``table1.txt`` ->
+    ``table1.json``).  Any ``run_records`` are published into the run
+    store (``store`` may be a :class:`~repro.obs.store.RunStore`, a
+    directory, or None for the default ``.repro/runs``).
+    """
+    from repro.obs import RunStore
+    from repro.obs.atomicio import atomic_write_text
+
+    os.makedirs(results_dir, exist_ok=True)
+    path = os.path.join(results_dir, name)
+    atomic_write_text(path, text + "\n")
+    if data is not None:
+        json_path = os.path.splitext(path)[0] + ".json"
+        atomic_write_text(json_path, json.dumps(
+            data, indent=2, sort_keys=True) + "\n")
+    if run_records:
+        if not isinstance(store, RunStore):
+            store = RunStore(store)
+        for record in run_records:
+            store.publish(record)
+    return path
+
+
 def lint_screen_stats(case: EcoCase,
-                      config: Optional[EcoConfig] = None) -> dict:
+                      config: Optional[EcoConfig] = None,
+                      run_records: Optional[list] = None) -> dict:
     """Static-screen effectiveness of one syseco run on a case.
 
     Runs the engine and reports how the pre-SAT lint screen spent its
     checks: how many candidates it saw, how many it rejected before any
     solver work, and the SAT/sim screen counts for comparison (the
-    benches' JSON twins record these per case).
+    benches' JSON twins record these per case).  When ``run_records``
+    is a list, the run is traced and its run record appended for the
+    caller to :func:`publish`.
     """
-    result = SysEco(config or EcoConfig()).rectify(case.impl, case.spec)
+    if run_records is not None:
+        result, record = traced_case_run(case, config)
+        run_records.append(record)
+    else:
+        result = SysEco(config or EcoConfig()).rectify(
+            case.impl, case.spec)
     counters = result.counters
     screens = counters.lint_screens
     rejects = counters.lint_rejects

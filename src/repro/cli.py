@@ -9,6 +9,9 @@ Run ``python -m repro <command> --help``.  Commands:
   any of the three engines, writing the patched netlist and a patch
   report;
 * ``trace``  — summarize a trace file written by ``eco --trace``;
+* ``runs``   — inspect the persistent run store: list, show, diff,
+  and regression-check recorded runs (``repro runs regress
+  --baseline REF`` exits nonzero on regression — a CI gate);
 * ``lint``   — static diagnostics: netlist analyzer, patch-op
   legality, or the repo's own invariants (``--self``);
 * ``tables`` — regenerate the paper's tables on the scaled suite.
@@ -146,16 +149,17 @@ def _cmd_eco(args: argparse.Namespace) -> int:
     else:
         engine = DeltaSyn() if args.engine == "deltasyn" else ConeMap()
 
-    want_trace = bool(args.trace or args.metrics)
+    want_export = bool(args.trace or args.metrics)
     trace = None
-    if want_trace:
-        if args.engine != "syseco":
-            print(f"warning: --trace/--metrics is only supported by the "
-                  f"syseco engine, not {args.engine}; skipping",
-                  file=sys.stderr)
-        else:
-            from repro.obs import Trace
-            trace = Trace(name=impl.name)
+    if want_export and args.engine != "syseco":
+        print(f"warning: --trace/--metrics is only supported by the "
+              f"syseco engine, not {args.engine}; skipping",
+              file=sys.stderr)
+    elif (want_export or args.store_runs) and args.engine == "syseco":
+        # traced whenever the run is being recorded, so the run store
+        # gets the phase summary and the obs.sample timeline
+        from repro.obs import Trace
+        trace = Trace(name=impl.name)
 
     if trace is not None:
         result = engine.rectify(impl, spec, trace=trace)
@@ -167,6 +171,8 @@ def _cmd_eco(args: argparse.Namespace) -> int:
 
     verdict = check_equivalence(result.patched, spec)
     print(f"verified: {verdict.equivalent}")
+    if args.store_runs:
+        _publish_run(args, engine, impl, result, verdict, trace)
     if trace is not None:
         _export_trace(args, trace)
     if args.counters_json:
@@ -186,6 +192,27 @@ def _cmd_eco(args: argparse.Namespace) -> int:
         for port, pin in sorted(port_map.items()):
             print(f"  {port} -> {pin!r}")
     return 0 if verdict.equivalent is True else 1
+
+
+def _publish_run(args: argparse.Namespace, engine, impl, result,
+                 verdict, trace) -> None:
+    """Record the run in the persistent store (``repro runs ...``)."""
+    from repro.obs import RunStore, record_from_result
+
+    if verdict.equivalent is not True:
+        outcome = "failed"
+    else:
+        outcome = "degraded" if result.degraded else "ok"
+    record = record_from_result(
+        result, trace=trace, kind="eco", name=impl.name,
+        config=getattr(engine, "config", None), outcome=outcome,
+        tags={"engine": args.engine})
+    try:
+        store = RunStore(args.store)
+        store.publish(record)
+        print(f"recorded run {record.run_id} (store: {store.root})")
+    except OSError as exc:
+        print(f"warning: could not record run: {exc}", file=sys.stderr)
 
 
 def _export_trace(args: argparse.Namespace, trace) -> None:
@@ -369,6 +396,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--counters-json", metavar="FILE",
                    help="dump run counters, degradation state and "
                         "per-output status as JSON")
+    p.add_argument("--store", metavar="DIR", default=None,
+                   help="run-store directory receiving this run's "
+                        "record (default: $REPRO_RUN_STORE or "
+                        ".repro/runs)")
+    p.add_argument("--no-store", dest="store_runs",
+                   action="store_false", default=True,
+                   help="do not record this run in the run store")
     p.set_defaults(func=_cmd_eco)
 
     p = sub.add_parser(
@@ -390,6 +424,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--suggest", action="store_true",
                    help="print suggested engine settings")
     p.set_defaults(func=_cmd_diagnose)
+
+    p = sub.add_parser(
+        "runs",
+        help="inspect the persistent run store: list, show, diff, "
+             "regression-check")
+    from repro.obs.runs_cli import add_runs_arguments, run_runs
+    add_runs_arguments(p)
+    p.set_defaults(func=run_runs)
 
     p = sub.add_parser(
         "lint",

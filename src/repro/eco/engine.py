@@ -68,6 +68,7 @@ from repro.eco.validate import (
     assert_patch_structure,
     validate_rewire,
 )
+from repro.obs.sampler import maybe_sampler
 from repro.obs.trace import Trace, ensure_trace
 from repro.runtime.clock import now
 from repro.runtime.faultinject import FaultInjector
@@ -118,15 +119,29 @@ class SysEco:
                                         trace=trace)
         trace.set_counters(run.counters)
 
-        with trace.span("eco.rectify", impl=impl.name,
-                        outputs=len(impl.outputs)):
-            result = self._rectify_run(impl, spec, rng, run, started)
+        sampler = maybe_sampler(
+            trace, counters=run.counters, bdd_stats=run.live_bdd_stats,
+            interval_s=config.sample_interval_s,
+            stall_window_s=config.stall_window_s,
+            trace_malloc=config.trace_malloc)
+        try:
+            if sampler is not None:
+                sampler.start()
+            with trace.span("eco.rectify", impl=impl.name,
+                            outputs=len(impl.outputs)):
+                result = self._rectify_run(impl, spec, rng, run, started)
+        finally:
+            if sampler is not None:
+                sampler.stop()
         trace.meta.update(
             impl=impl.name,
             counters=run.counters.as_dict(),
             degraded=run.degraded,
             degrade_reason=run.degrade_reason,
             wall_seconds=result.runtime_seconds,
+            # the budget clock observes injected clock faults, so the
+            # supervised elapsed time is the one regression checks trust
+            supervised_elapsed_s=run.budget.elapsed(),
         )
         if trace.enabled:
             result.trace = trace
@@ -359,6 +374,7 @@ class SysEco:
         manager = BddManager(
             node_limit=run.open_bdd(config.bdd_node_limit),
             node_hook=run.node_hook)
+        run.adopt_bdd(manager)
         try:
             return self._search_in_manager(
                 work, spec, port, failing, patch, samples, max_pins,
@@ -521,6 +537,7 @@ class SysEco:
             manager = BddManager(
                 node_limit=run.open_bdd(config.bdd_node_limit),
                 node_hook=run.node_hook)
+            run.adopt_bdd(manager)
             domain = SamplingDomain(manager, samples, inputs=work.inputs,
                                     checkpoint=run.checkpoint)
             impl_z = domain.cast_circuit(work)

@@ -67,6 +67,7 @@ MUTATION_ALLOWED: Tuple[str, ...] = (
 PRINT_ALLOWED: Tuple[str, ...] = (
     "repro/cli.py",
     "repro/lint/cli.py",
+    "repro/obs/runs_cli.py",
 )
 
 #: ``random`` module functions that use the shared global RNG

@@ -26,13 +26,28 @@ from repro.obs.trace import (
     Trace,
     ensure_trace,
 )
+from repro.obs.atomicio import atomic_write_text
 from repro.obs.export import (
     chrome_payload,
     prometheus_text,
     read_trace,
+    sanitize_metric_name,
     write_chrome,
     write_jsonl,
     write_prometheus,
+)
+from repro.obs.sampler import RunSampler, maybe_sampler
+from repro.obs.store import (
+    DEFAULT_STORE_DIR,
+    MetricDelta,
+    Regression,
+    RegressionThresholds,
+    RunRecord,
+    RunStore,
+    RunStoreError,
+    check_regressions,
+    diff_records,
+    record_from_result,
 )
 from repro.obs.summary import (
     HotOutput,
@@ -50,12 +65,26 @@ __all__ = [
     "Span",
     "Trace",
     "ensure_trace",
+    "atomic_write_text",
     "chrome_payload",
     "prometheus_text",
     "read_trace",
+    "sanitize_metric_name",
     "write_chrome",
     "write_jsonl",
     "write_prometheus",
+    "RunSampler",
+    "maybe_sampler",
+    "DEFAULT_STORE_DIR",
+    "MetricDelta",
+    "Regression",
+    "RegressionThresholds",
+    "RunRecord",
+    "RunStore",
+    "RunStoreError",
+    "check_regressions",
+    "diff_records",
+    "record_from_result",
     "HotOutput",
     "PhaseNode",
     "TraceSummary",

@@ -1,0 +1,109 @@
+"""Crash-safe file writes for traces and run records.
+
+Every trace export and every run-store write goes through
+:func:`atomic_write_text`: the content is written to a temporary file
+in the *same directory* as the target, flushed and fsynced, then
+renamed over the target with ``os.replace``.  POSIX rename is atomic,
+so a reader never observes a half-written file and a killed writer
+leaves at worst an orphaned ``.tmp-*`` file — never a truncated trace
+that breaks ``repro runs list`` or ``repro trace``.
+
+Appending to a JSONL file is implemented as read + append + atomic
+rewrite (:func:`append_jsonl_line`).  Run records are a few KB and
+stores hold hundreds of runs, so the rewrite cost is irrelevant next
+to the durability guarantee.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (tmp file + fsync + rename)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-",
+                               suffix=os.path.basename(path))
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def append_jsonl_line(path: str, record: Dict[str, Any]) -> None:
+    """Append one JSON record to a JSONL file, atomically.
+
+    The existing content is read back, the new line appended, and the
+    whole file rewritten via :func:`atomic_write_text` — an interrupted
+    append can never leave a partial trailing line.
+    """
+    line = json.dumps(record, sort_keys=True, default=str)
+    existing = ""
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as fh:
+            existing = fh.read()
+    if existing and not existing.endswith("\n"):
+        existing += "\n"
+    atomic_write_text(path, existing + line + "\n")
+
+
+def read_jsonl(path: str) -> Tuple[List[Dict[str, Any]], int]:
+    """Load a JSONL file defensively.
+
+    Returns ``(records, skipped)`` where ``skipped`` counts lines that
+    failed to parse (e.g. a partial line from a legacy non-atomic
+    writer killed mid-append).  Records keep unknown keys verbatim.
+    """
+    records: List[Dict[str, Any]] = []
+    skipped = 0
+    if not os.path.exists(path):
+        return records, skipped
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if isinstance(payload, dict):
+                records.append(payload)
+            else:
+                skipped += 1
+    return records, skipped
+
+
+def iter_temp_leftovers(directory: str) -> Iterator[str]:
+    """Orphaned ``.tmp-*`` files a crashed writer may have left behind."""
+    if not os.path.isdir(directory):
+        return
+    for name in sorted(os.listdir(directory)):
+        if name.startswith(".tmp-"):
+            yield os.path.join(directory, name)
+
+
+def sweep_temp_leftovers(directory: str,
+                         unlink: Optional[bool] = True) -> List[str]:
+    """Remove (or just list, with ``unlink=False``) orphaned tmp files."""
+    leftovers = list(iter_temp_leftovers(directory))
+    if unlink:
+        for path in leftovers:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+    return leftovers

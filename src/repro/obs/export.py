@@ -21,8 +21,10 @@ the canonical record list that :mod:`repro.obs.summary` consumes.
 from __future__ import annotations
 
 import json
+import re
 from typing import Any, Dict, List, Sequence
 
+from repro.obs.atomicio import atomic_write_text
 from repro.obs.summary import summarize
 
 
@@ -36,12 +38,11 @@ def _records_of(trace_or_records) -> List[Dict[str, Any]]:
 # JSONL
 # ----------------------------------------------------------------------
 def write_jsonl(trace_or_records, path: str) -> None:
-    """One canonical record per line."""
+    """One canonical record per line (written atomically)."""
     records = _records_of(trace_or_records)
-    with open(path, "w", encoding="utf-8") as fh:
-        for rec in records:
-            fh.write(json.dumps(rec, sort_keys=True, default=str))
-            fh.write("\n")
+    lines = [json.dumps(rec, sort_keys=True, default=str)
+             for rec in records]
+    atomic_write_text(path, "".join(line + "\n" for line in lines))
 
 
 # ----------------------------------------------------------------------
@@ -90,6 +91,20 @@ def chrome_payload(trace_or_records) -> Dict[str, Any]:
                     "tags": rec.get("tags", {}),
                 },
             })
+        else:
+            # forward compatibility: a record kind this writer does not
+            # know still rides along as a raw instant event and is
+            # restored verbatim by read_trace
+            events.append({
+                "name": str(kind),
+                "cat": "repro.raw",
+                "ph": "i",
+                "s": "t",
+                "ts": float(rec.get("ts", 0.0)) * 1e6,
+                "pid": _PID,
+                "tid": _TID,
+                "args": {"record": rec},
+            })
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -98,16 +113,39 @@ def chrome_payload(trace_or_records) -> Dict[str, Any]:
 
 
 def write_chrome(trace_or_records, path: str) -> None:
-    """Perfetto / ``chrome://tracing`` compatible JSON."""
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(chrome_payload(trace_or_records), fh, default=str)
+    """Perfetto / ``chrome://tracing`` compatible JSON (atomic write)."""
+    atomic_write_text(
+        path, json.dumps(chrome_payload(trace_or_records), default=str))
 
 
 # ----------------------------------------------------------------------
 # Prometheus text snapshot
 # ----------------------------------------------------------------------
 def _escape(value: str) -> str:
-    return value.replace("\\", "\\\\").replace('"', '\\"')
+    """Escape a label value per the Prometheus exposition format.
+
+    Backslash, double quote *and line feed* must be escaped — phase
+    names contain ``.``/``/`` (legal in label values) but user-supplied
+    tags and run names can contain anything.
+    """
+    return (value.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+_METRIC_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Coerce ``name`` into a legal Prometheus metric name.
+
+    Illegal characters (``.`` in phase names, ``-``, whitespace, ...)
+    become ``_``; a leading digit is prefixed with ``_``.
+    """
+    cleaned = _METRIC_NAME_RE.sub("_", name) or "_"
+    if cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
 
 
 def prometheus_text(trace_or_records) -> str:
@@ -130,16 +168,21 @@ def prometheus_text(trace_or_records) -> str:
 
     def emit(metric: str, mtype: str, help_: str,
              samples: Sequence) -> None:
+        metric = sanitize_metric_name(metric)
         lines.append(f"# HELP {metric} {help_}")
         lines.append(f"# TYPE {metric} {mtype}")
         for labels, value in samples:
             label_s = ""
             if labels:
-                inner = ",".join(f'{k}="{_escape(str(v))}"'
-                                 for k, v in labels)
+                inner = ",".join(
+                    f'{sanitize_metric_name(str(k))}="{_escape(str(v))}"'
+                    for k, v in labels)
                 label_s = "{" + inner + "}"
             lines.append(f"{metric}{label_s} {value}")
 
+    emit("repro_run_info", "gauge",
+         "constant 1; the run name rides in the label",
+         [((("name", summary.name),), 1)])
     emit("repro_phase_seconds_total", "counter",
          "wall seconds spent per phase (children included)",
          [(((("phase", name),)), f"{node.seconds:.6f}")
@@ -169,8 +212,7 @@ def prometheus_text(trace_or_records) -> str:
 
 
 def write_prometheus(trace_or_records, path: str) -> None:
-    with open(path, "w", encoding="utf-8") as fh:
-        fh.write(prometheus_text(trace_or_records))
+    atomic_write_text(path, prometheus_text(trace_or_records))
 
 
 # ----------------------------------------------------------------------
@@ -219,6 +261,10 @@ def _records_from_chrome(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
                 "counters": args.get("counters", {}),
             })
         elif ev.get("ph") == "i":
+            if ev.get("cat") == "repro.raw" and "record" in args:
+                # a record kind unknown to the writer, preserved verbatim
+                records.append(args["record"])
+                continue
             records.append({
                 "type": "event",
                 "name": ev.get("name", "?"),

@@ -1,0 +1,178 @@
+"""In-run telemetry sampling: counter time-series and stall detection.
+
+Span traces attribute *deltas* to phases, but a long phase is a black
+box while it runs.  :class:`RunSampler` fixes that: while the engine
+works, a small daemon thread periodically snapshots the run's
+:class:`~repro.runtime.counters.RunCounters`, the live BDD node count
+(via a supervisor callback) and — when enabled — the ``tracemalloc``
+peak, emitting each snapshot as an ``obs.sample`` event on the trace.
+The result is a *timeline*: BDD-node growth, SAT-conflict spend and
+memory high-water marks over the run, exported and summarized like any
+other trace content and persisted per run by
+:mod:`repro.obs.store`.
+
+Each tick doubles as a supervisor heartbeat with a **stall detector**:
+the tracer bumps a monotone ``progress`` counter on every span open /
+finish; when no span progresses within ``stall_window_s`` the sampler
+emits a single ``run.stalled`` event carrying the idle time and a
+degradation hint (``--deadline`` / ``--total-sat-budget``), and re-arms
+once progress resumes.
+
+When tracing is disabled the engine never constructs a sampler at all
+(the ``NULL_TRACE`` no-op path allocates nothing and starts no
+thread); with tracing on but ``interval_s=0`` the sampler degrades to
+two deterministic snapshots — one at :meth:`start`, one at
+:meth:`stop` — so every traced run still gets a (short) timeline.
+
+Stdlib only, like the rest of :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import tracemalloc
+from typing import Any, Callable, Dict, Optional
+
+#: event kinds emitted by the sampler
+SAMPLE_EVENT = "obs.sample"
+STALL_EVENT = "run.stalled"
+
+STALL_HINT = ("no span progress; consider --deadline / "
+              "--total-sat-budget / --total-bdd-nodes")
+
+
+class RunSampler:
+    """Periodic telemetry snapshots of one run, written to its trace.
+
+    Args:
+        trace: the run's :class:`~repro.obs.trace.Trace`.  Callers must
+            not construct a sampler for a disabled trace — use
+            :func:`maybe_sampler`.
+        counters: a ``RunCounters``-shaped object (``as_dict()``);
+            every snapshot embeds its nonzero values.
+        bdd_stats: zero-argument callable returning a dict of live BDD
+            statistics (the run supervisor's ``live_bdd_stats``);
+            cumulative, so sampled node counts are non-decreasing.
+        interval_s: seconds between samples; ``0`` disables the thread
+            (only the start/stop snapshots are taken).
+        stall_window_s: span-progress silence that counts as a stall.
+        clock: monotonic time source (injectable for tests).
+        trace_malloc: start ``tracemalloc`` for the duration of the run
+            and record the traced-memory peak per sample (KiB).  When
+            False, the peak is still recorded if the caller already has
+            ``tracemalloc`` tracing.
+    """
+
+    def __init__(self, trace, counters=None,
+                 bdd_stats: Optional[Callable[[], Dict[str, int]]] = None,
+                 interval_s: float = 0.05,
+                 stall_window_s: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic,
+                 trace_malloc: bool = False):
+        self.trace = trace
+        self.counters = counters
+        self.bdd_stats = bdd_stats
+        self.interval_s = max(0.0, float(interval_s))
+        self.stall_window_s = float(stall_window_s)
+        self._clock = clock
+        self._trace_malloc = trace_malloc
+        self._started_malloc = False
+        self._seq = 0
+        self._stalled = False
+        self._last_progress = -1
+        self._last_change = clock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> "RunSampler":
+        """Take the initial sample and start the tick thread (if any)."""
+        if self._trace_malloc and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_malloc = True
+        self._last_change = self._clock()
+        self.sample()
+        if self.interval_s > 0:
+            self._thread = threading.Thread(
+                target=self._run, name="repro-obs-sampler", daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the tick thread and take the final sample."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.sample()
+        if self._started_malloc:
+            tracemalloc.stop()
+            self._started_malloc = False
+
+    def __enter__(self) -> "RunSampler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.tick()
+
+    def tick(self) -> None:
+        """One heartbeat: snapshot plus stall check (thread + tests)."""
+        self.sample()
+        self._check_stall()
+
+    def sample(self) -> None:
+        """Emit one ``obs.sample`` event with the current telemetry."""
+        self._seq += 1
+        tags: Dict[str, Any] = {"seq": self._seq}
+        if self.counters is not None:
+            for key, value in self.counters.as_dict().items():
+                if value:
+                    tags[key] = value
+        if self.bdd_stats is not None:
+            tags.update(self.bdd_stats())
+        if tracemalloc.is_tracing():
+            current, peak = tracemalloc.get_traced_memory()
+            tags["mem_kib"] = current // 1024
+            tags["mem_peak_kib"] = peak // 1024
+        self._emit(SAMPLE_EVENT, tags)
+
+    def _check_stall(self) -> None:
+        now = self._clock()
+        progress = self.trace.progress
+        if progress != self._last_progress:
+            self._last_progress = progress
+            self._last_change = now
+            self._stalled = False  # re-arm once the run moves again
+            return
+        idle = now - self._last_change
+        if idle >= self.stall_window_s and not self._stalled:
+            self._stalled = True
+            self._emit(STALL_EVENT, {
+                "idle_s": round(idle, 3),
+                "window_s": self.stall_window_s,
+                "progress": progress,
+                "hint": STALL_HINT,
+            })
+
+    def _emit(self, name: str, tags: Dict[str, Any]) -> None:
+        # the tick thread races the engine's span stack; losing one
+        # sample to a concurrent pop is fine, corrupting the run is not
+        try:
+            self.trace.event(name, **tags)
+        except (IndexError, RuntimeError):
+            pass
+
+
+def maybe_sampler(trace, **kwargs) -> Optional[RunSampler]:
+    """A sampler for an enabled trace; ``None`` (no allocation, no
+    thread) when tracing is off."""
+    if not getattr(trace, "enabled", False):
+        return None
+    return RunSampler(trace, **kwargs)

@@ -126,6 +126,10 @@ class Trace:
         self.events: List[Event] = []
         #: run-level metadata (final counters, degradation, ...)
         self.meta: Dict[str, Any] = {"name": name}
+        #: monotone span-activity counter (bumped on every span open /
+        #: finish); the sampler's stall detector watches it to tell a
+        #: long-running span from a wedged run
+        self.progress = 0
         self._stack: List[Span] = []
         self._counters = None
         self._next_id = 1
@@ -144,6 +148,7 @@ class Trace:
         sp = Span(self, self._next_id, parent, name, dict(tags),
                   self._clock() - self.epoch, snapshot)
         self._next_id += 1
+        self.progress += 1
         self._stack.append(sp)
         return sp
 
@@ -164,6 +169,7 @@ class Trace:
             self._stack.remove(span)
         except ValueError:
             pass
+        self.progress += 1
         self.spans.append(span)
 
     # ------------------------------------------------------------------
@@ -243,6 +249,7 @@ class NullTrace:
     spans: List[Span] = []
     events: List[Event] = []
     wall_seconds = 0.0
+    progress = 0
 
     @property
     def meta(self) -> Dict[str, Any]:

@@ -71,6 +71,7 @@ class RunSupervisor:
         self._attempts: Dict[str, int] = {}
         self._capped: Set[str] = set()
         self._bdd_spans: List = []
+        self._live_bdd: List = []
 
     # ------------------------------------------------------------------
     @classmethod
@@ -162,11 +163,36 @@ class RunSupervisor:
             self.trace.span("bdd.session", limit=limit))
         return limit
 
+    def adopt_bdd(self, manager) -> None:
+        """Register a live session manager so the telemetry sampler can
+        observe node growth *while* the session runs."""
+        self._live_bdd.append(manager)
+
+    def live_bdd_stats(self) -> Dict[str, int]:
+        """Cumulative BDD telemetry including live sessions.
+
+        ``bdd_nodes`` = nodes charged by finished sessions plus the
+        current node count of every open manager; node stores never
+        shrink and close_bdd moves a session's count into
+        ``bdd_nodes_spent``, so the sampled series is monotonically
+        non-decreasing.  Called from the sampler thread — it only reads
+        a snapshot of the list.
+        """
+        live = sum(m.num_nodes for m in tuple(self._live_bdd))
+        return {
+            "bdd_nodes": self.counters.bdd_nodes_spent + live,
+            "bdd_sessions": self.counters.bdd_sessions,
+        }
+
     def close_bdd(self, manager) -> None:
         """Charge a finished session's node count to the run budget."""
         nodes = manager.num_nodes
         self.budget.charge_bdd(nodes)
         self.counters.bdd_nodes_spent += nodes
+        try:
+            self._live_bdd.remove(manager)
+        except ValueError:
+            pass
         if self._bdd_spans:
             span = self._bdd_spans.pop()
             stats = getattr(manager, "stats", None)

@@ -101,3 +101,54 @@ class TestFormattingHelpers:
                         syseco_slack_ps=-14.0)
         text = format_table3([row])
         assert "-27.00" in text and "-14.00" in text
+
+
+class TestTracedCaseRun:
+    def test_returns_result_and_record(self, case2):
+        from repro.bench.runner import traced_case_run
+
+        result, record = traced_case_run(case2)
+        assert record.kind == "bench"
+        assert record.name == "case2"
+        assert record.counters == result.counters.as_dict()
+        assert record.config["num_samples"] > 0
+        # the sampler's timeline is present with monotone BDD nodes
+        assert len(record.samples) >= 2
+        series = [s.get("bdd_nodes", 0) for s in record.samples]
+        assert series == sorted(series)
+        assert series[-1] > 0
+
+    def test_lint_screen_stats_can_collect_records(self, case2):
+        from repro.bench.runner import lint_screen_stats
+
+        records = []
+        stats = lint_screen_stats(case2, run_records=records)
+        assert stats["case_id"] == 2
+        assert stats["lint_screens"] >= stats["lint_rejects"]
+        assert len(records) == 1
+        assert records[0].name == "case2"
+
+
+class TestPublish:
+    def test_writes_table_and_json_twin(self, tmp_path):
+        from repro.bench.runner import publish
+
+        path = publish("t.txt", "rendered", data={"k": 1},
+                       results_dir=str(tmp_path / "results"))
+        assert open(path).read() == "rendered\n"
+        import json
+        twin = json.loads(open(str(tmp_path / "results" / "t.json")).read())
+        assert twin == {"k": 1}
+
+    def test_run_records_land_in_store(self, tmp_path, case2):
+        from repro.bench.runner import publish, traced_case_run
+        from repro.obs import RunStore
+
+        _, record = traced_case_run(case2)
+        store_dir = str(tmp_path / "runs")
+        publish("t.txt", "rendered", results_dir=str(tmp_path / "r"),
+                store=store_dir, run_records=[record])
+        records = RunStore(store_dir).load_all()
+        assert [r.run_id for r in records] == [record.run_id]
+        series = [s.get("bdd_nodes", 0) for s in records[0].samples]
+        assert series == sorted(series) and len(series) >= 2

@@ -53,6 +53,13 @@ def exhaustive_equivalent(left: Circuit, right: Circuit,
     return True
 
 
+@pytest.fixture(autouse=True)
+def _isolated_run_store(tmp_path, monkeypatch):
+    """Point the persistent run store at a per-test directory so CLI
+    and engine tests never write ``.repro/runs`` into the repo."""
+    monkeypatch.setenv("REPRO_RUN_STORE", str(tmp_path / "runstore"))
+
+
 @pytest.fixture
 def tiny_adder() -> Circuit:
     """A one-bit full adder with outputs 'sum' and 'carry'."""

@@ -160,3 +160,49 @@ class TestNoopPath:
         impl2, spec2 = example1_circuits(width=2)
         _, _, trace, traced = traced_rectify()
         assert "phase breakdown" in format_patch_report(traced)
+
+
+class TestTelemetrySampling:
+    def test_traced_run_emits_sample_timeline(self):
+        impl, spec, trace, result = traced_rectify()
+        samples = events_named(trace, "obs.sample")
+        assert len(samples) >= 2  # at least the start/stop snapshots
+        seqs = [e.tags["seq"] for e in samples]
+        assert seqs == sorted(seqs)
+        series = [e.tags.get("bdd_nodes", 0) for e in samples]
+        assert series == sorted(series), \
+            "sampled BDD node counts must be non-decreasing"
+        assert series[-1] == result.counters.bdd_nodes_spent
+        final = samples[-1].tags
+        assert final.get("sat_conflicts_spent", 0) == \
+            result.counters.sat_conflicts_spent
+
+    def test_supervised_elapsed_recorded_in_meta(self):
+        impl, spec, trace, result = traced_rectify()
+        assert "supervised_elapsed_s" in trace.meta
+        assert trace.meta["supervised_elapsed_s"] >= 0.0
+
+    def test_injected_clock_jump_visible_in_meta(self):
+        injector = FaultInjector().arm(SITE_CLOCK, 2, payload=25.0)
+        impl, spec, trace, result = traced_rectify(injector=injector)
+        assert trace.meta["supervised_elapsed_s"] > 24.0
+        # the real runtime stays honest
+        assert result.runtime_seconds < 24.0
+
+    def test_untraced_run_starts_no_sampler_thread(self):
+        import threading
+        impl, spec = example1_circuits(width=2)
+        before = {t.name for t in threading.enumerate()}
+        rectify(impl, spec, EcoConfig(num_samples=8))
+        after = {t.name for t in threading.enumerate()}
+        assert "repro-obs-sampler" not in (after - before)
+        assert after <= before | set()
+
+    def test_sample_interval_zero_keeps_snapshots(self):
+        impl, spec = example1_circuits(width=2)
+        trace = Trace(name=impl.name)
+        rectify(impl, spec,
+                EcoConfig(num_samples=8, sample_interval_s=0),
+                trace=trace)
+        samples = events_named(trace, "obs.sample")
+        assert len(samples) == 2

@@ -1,0 +1,75 @@
+"""Atomic file primitive tests: durability and crash hygiene."""
+
+import os
+
+import pytest
+
+from repro.obs.atomicio import (
+    append_jsonl_line,
+    atomic_write_text,
+    read_jsonl,
+    sweep_temp_leftovers,
+)
+
+
+class TestAtomicWriteText:
+    def test_writes_and_replaces(self, tmp_path):
+        path = str(tmp_path / "f.txt")
+        atomic_write_text(path, "one\n")
+        atomic_write_text(path, "two\n")
+        assert open(path).read() == "two\n"
+        assert os.listdir(tmp_path) == ["f.txt"]
+
+    def test_failure_leaves_target_intact(self, tmp_path):
+        path = str(tmp_path / "f.txt")
+        atomic_write_text(path, "original\n")
+
+        with pytest.raises(TypeError):
+            atomic_write_text(path, object())  # not writable text
+        assert open(path).read() == "original\n"
+        # the aborted temp file was cleaned up
+        assert os.listdir(tmp_path) == ["f.txt"]
+
+
+class TestAppendJsonl:
+    def test_appends_in_order(self, tmp_path):
+        path = str(tmp_path / "r.jsonl")
+        append_jsonl_line(path, {"n": 1})
+        append_jsonl_line(path, {"n": 2})
+        records, skipped = read_jsonl(path)
+        assert [r["n"] for r in records] == [1, 2]
+        assert skipped == 0
+
+    def test_survives_preexisting_garbage(self, tmp_path):
+        path = str(tmp_path / "r.jsonl")
+        append_jsonl_line(path, {"n": 1})
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("{torn record")  # a crashed writer's last gasp
+        append_jsonl_line(path, {"n": 2})
+        records, skipped = read_jsonl(path)
+        assert [r["n"] for r in records] == [1, 2]
+        assert skipped == 1
+
+
+class TestReadJsonl:
+    def test_missing_file_is_empty(self, tmp_path):
+        records, skipped = read_jsonl(str(tmp_path / "absent.jsonl"))
+        assert records == []
+        assert skipped == 0
+
+    def test_non_dict_lines_skipped(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        path.write_text('{"ok": 1}\n[1, 2]\n"str"\n{"ok": 2}\n')
+        records, skipped = read_jsonl(str(path))
+        assert [r["ok"] for r in records] == [1, 2]
+        assert skipped == 2
+
+
+class TestTempSweep:
+    def test_sweeps_only_temp_files(self, tmp_path):
+        keep = tmp_path / "data.jsonl"
+        keep.write_text("{}\n")
+        (tmp_path / ".tmp-abandoned").write_text("partial")
+        removed = sweep_temp_leftovers(str(tmp_path))
+        assert [os.path.basename(p) for p in removed] == [".tmp-abandoned"]
+        assert sorted(os.listdir(tmp_path)) == ["data.jsonl"]

@@ -1,0 +1,167 @@
+"""Sampler tests: timelines, stall detection, and the no-op path."""
+
+import threading
+
+from repro.obs.sampler import (
+    RunSampler,
+    SAMPLE_EVENT,
+    STALL_EVENT,
+    maybe_sampler,
+)
+from repro.obs.trace import NULL_TRACE, Trace
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+class FakeCounters:
+    def __init__(self):
+        self.values = {}
+
+    def as_dict(self):
+        return dict(self.values)
+
+
+def sample_events(trace):
+    return [e for e in trace.events if e.name == SAMPLE_EVENT]
+
+
+def stall_events(trace):
+    return [e for e in trace.events if e.name == STALL_EVENT]
+
+
+class TestSampling:
+    def test_start_stop_snapshots_without_thread(self):
+        trace = Trace(name="t")
+        with trace.span("root"):
+            sampler = RunSampler(trace, interval_s=0)
+            sampler.start()
+            assert sampler._thread is None
+            sampler.stop()
+        samples = sample_events(trace)
+        assert len(samples) == 2
+        assert [e.tags["seq"] for e in samples] == [1, 2]
+
+    def test_counters_and_bdd_stats_embedded(self):
+        trace = Trace(name="t")
+        counters = FakeCounters()
+        nodes = {"n": 0}
+        clock = FakeClock()
+        sampler = RunSampler(
+            trace, counters=counters,
+            bdd_stats=lambda: {"bdd_nodes": nodes["n"]},
+            interval_s=0, clock=clock)
+        with trace.span("root"):
+            sampler.start()
+            counters.values = {"sat_conflicts_spent": 7, "zero": 0}
+            nodes["n"] = 120
+            sampler.tick()
+            nodes["n"] = 450
+            sampler.stop()
+        samples = sample_events(trace)
+        series = [e.tags["bdd_nodes"] for e in samples]
+        assert series == [0, 120, 450]
+        assert series == sorted(series)  # monotone timeline
+        assert samples[1].tags["sat_conflicts_spent"] == 7
+        assert "zero" not in samples[1].tags  # zeros are elided
+
+    def test_context_manager(self):
+        trace = Trace(name="t")
+        with trace.span("root"):
+            with RunSampler(trace, interval_s=0):
+                pass
+        assert len(sample_events(trace)) == 2
+
+    def test_interval_thread_runs_and_joins(self):
+        trace = Trace(name="t")
+        before = threading.active_count()
+        with trace.span("root"):
+            sampler = RunSampler(trace, interval_s=0.001)
+            sampler.start()
+            assert sampler._thread is not None
+            assert sampler._thread.daemon
+            sampler._thread.join(0.05)  # let a few ticks land
+            sampler.stop()
+        assert sampler._thread is None
+        assert threading.active_count() == before
+        assert len(sample_events(trace)) >= 2
+
+
+class TestStallDetector:
+    def test_fires_once_and_rearms_on_progress(self):
+        clock = FakeClock()
+        trace = Trace(name="t")
+        sampler = RunSampler(trace, interval_s=0, stall_window_s=5.0,
+                             clock=clock)
+        with trace.span("root"):
+            sampler.start()
+            clock.t = 3.0
+            sampler.tick()          # idle < window: no stall
+            assert not stall_events(trace)
+            clock.t = 6.0
+            sampler.tick()          # idle >= window: stall fires
+            clock.t = 9.0
+            sampler.tick()          # still stalled: no duplicate
+            assert len(stall_events(trace)) == 1
+            (stall,) = stall_events(trace)
+            assert stall.tags["idle_s"] >= 5.0
+            assert "--deadline" in stall.tags["hint"]
+            with trace.span("work"):  # span progress re-arms
+                pass
+            clock.t = 10.0
+            sampler.tick()
+            assert len(stall_events(trace)) == 1
+            clock.t = 16.0
+            sampler.tick()          # a second silent window fires again
+            assert len(stall_events(trace)) == 2
+            sampler.stop()
+
+    def test_progress_resets_idle_clock(self):
+        clock = FakeClock()
+        trace = Trace(name="t")
+        sampler = RunSampler(trace, interval_s=0, stall_window_s=5.0,
+                             clock=clock)
+        with trace.span("root"):
+            sampler.start()
+            for t in (2.0, 4.0, 6.0, 8.0):
+                clock.t = t
+                with trace.span("step"):
+                    pass
+                sampler.tick()
+            assert not stall_events(trace)
+            sampler.stop()
+
+
+class TestNoopPath:
+    def test_maybe_sampler_is_none_for_null_trace(self):
+        assert maybe_sampler(NULL_TRACE) is None
+        assert maybe_sampler(None) is None
+
+    def test_maybe_sampler_builds_for_enabled_trace(self):
+        trace = Trace(name="t")
+        sampler = maybe_sampler(trace, interval_s=0)
+        assert isinstance(sampler, RunSampler)
+
+    def test_untraced_run_starts_no_thread(self):
+        """The NULL_TRACE path allocates no sampler and no thread."""
+        before = threading.active_count()
+        assert maybe_sampler(NULL_TRACE, interval_s=0.001) is None
+        assert threading.active_count() == before
+
+    def test_sampler_emit_survives_racy_stack(self):
+        """A sample lost to a concurrent span pop must not raise."""
+
+        class RacyTrace:
+            progress = 0
+            enabled = True
+
+            def event(self, name, **tags):
+                raise IndexError("pop from empty list")
+
+        sampler = RunSampler(RacyTrace(), interval_s=0)
+        sampler.sample()  # swallowed; the sample is simply dropped

@@ -187,3 +187,112 @@ class TestPatchOut:
         assert "rectification point" in out
         patch = read_blif(patch_path)
         assert patch.outputs  # at least one rectification point
+
+
+class TestRunStore:
+    def run_eco(self, eco_files, store, extra=()):
+        impl_path, spec_path = eco_files
+        return main(["eco", "--impl", impl_path, "--spec", spec_path,
+                     "--samples", "8", "--store", store, *extra])
+
+    def test_eco_publishes_by_default(self, eco_files, tmp_path, capsys):
+        store = str(tmp_path / "runs")
+        assert self.run_eco(eco_files, store) == 0
+        out = capsys.readouterr().out
+        assert "recorded run" in out
+        assert os.path.exists(os.path.join(store, "records.jsonl"))
+        assert os.path.exists(os.path.join(store, "index.json"))
+
+    def test_no_store_skips_publishing(self, eco_files, tmp_path, capsys,
+                                       monkeypatch):
+        store = tmp_path / "runs"
+        monkeypatch.setenv("REPRO_RUN_STORE", str(store))
+        impl_path, spec_path = eco_files
+        assert main(["eco", "--impl", impl_path, "--spec", spec_path,
+                     "--samples", "8", "--no-store"]) == 0
+        assert "recorded run" not in capsys.readouterr().out
+        assert not store.exists()
+
+    def test_runs_list_show_diff(self, eco_files, tmp_path, capsys):
+        store = str(tmp_path / "runs")
+        assert self.run_eco(eco_files, store) == 0
+        assert self.run_eco(eco_files, store) == 0
+        capsys.readouterr()
+
+        assert main(["runs", "--store", store, "list"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") >= 3  # header + two runs
+        assert "eco" in out and "ok" in out
+
+        assert main(["runs", "--store", store, "show", "last"]) == 0
+        out = capsys.readouterr().out
+        assert "outcome  : ok" in out
+        assert "eco.rectify" in out       # phase tree present
+        assert "obs.sample" in out        # timeline rode along
+
+        assert main(["runs", "--store", store, "diff",
+                     "first", "last"]) == 0
+        out = capsys.readouterr().out
+        assert "wall_seconds" in out
+        assert "counters.sat_conflicts_spent" in out
+
+    def test_runs_show_json_round_trips(self, eco_files, tmp_path,
+                                        capsys):
+        import json
+        store = str(tmp_path / "runs")
+        assert self.run_eco(eco_files, store) == 0
+        capsys.readouterr()
+        assert main(["runs", "--store", store, "show", "last",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "eco"
+        assert payload["tags"]["engine"] == "syseco"
+        series = [s.get("bdd_nodes", 0) for s in payload["samples"]]
+        assert series == sorted(series) and len(series) >= 2
+
+    def test_regress_passes_on_identical_rerun(self, eco_files, tmp_path,
+                                               capsys):
+        store = str(tmp_path / "runs")
+        assert self.run_eco(eco_files, store) == 0
+        assert self.run_eco(eco_files, store) == 0
+        capsys.readouterr()
+        code = main(["runs", "--store", store, "regress",
+                     "--baseline", "first"])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_regress_fails_on_injected_slowdown(self, eco_files,
+                                                tmp_path, capsys):
+        """The fault-injection harness makes the current run slower by
+        an armed clock jump; regress must exit nonzero."""
+        from repro.eco import EcoConfig, SysEco
+        from repro.obs import RunStore, Trace, record_from_result
+        from repro.runtime import FaultInjector, SITE_CLOCK
+
+        store_dir = str(tmp_path / "runs")
+        assert self.run_eco(eco_files, store_dir) == 0
+
+        impl = read_blif(eco_files[0])
+        spec = read_blif(eco_files[1])
+        config = EcoConfig(num_samples=8)
+        injector = FaultInjector().arm(SITE_CLOCK, 2, payload=30.0)
+        trace = Trace(name=impl.name)
+        result = SysEco(config).rectify(impl, spec, injector=injector,
+                                        trace=trace)
+        RunStore(store_dir).publish(record_from_result(
+            result, trace=trace, kind="eco", config=config,
+            tags={"engine": "syseco"}))
+        capsys.readouterr()
+
+        code = main(["runs", "--store", store_dir, "regress",
+                     "--baseline", "first"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REGRESSION [wall_seconds]" in out
+
+    def test_unknown_ref_is_cli_error(self, eco_files, tmp_path, capsys):
+        store = str(tmp_path / "runs")
+        assert self.run_eco(eco_files, store) == 0
+        capsys.readouterr()
+        assert main(["runs", "--store", store, "show", "nope"]) == 3
+        assert "no run matches" in capsys.readouterr().err
