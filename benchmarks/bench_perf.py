@@ -1,0 +1,168 @@
+"""Microbenchmarks of the performance machinery (docs/performance.md).
+
+Two hot paths, each timed against the legacy reference it replaced:
+
+* **simulation** — patterns/sec through the compiled multi-word plan
+  vs the per-gate dictionary walk (forced via ``order=``);
+* **validation** — candidates/sec through the persistent incremental
+  miter vs the copy-and-re-encode ``validate_rewire`` path, with a
+  verdict-parity sanity check on every candidate.
+
+The rendered table and JSON twin land in ``benchmarks/results/`` via
+the shared publisher, and a traced engine run (incremental validation
+on) is pushed into the run store so the CI perf-smoke job can gate
+wall time / SAT / outcome with ``repro runs regress --baseline``.
+"""
+
+import random
+import time
+
+from repro.cec.equivalence import nonequivalent_outputs
+from repro.netlist.circuit import Pin
+from repro.netlist.simulate import (
+    batch_mask,
+    compiled_plan,
+    random_patterns,
+    simulate_words,
+)
+from repro.netlist.traverse import topological_order
+from repro.eco.config import EcoConfig
+from repro.eco.incremental import IncrementalValidator
+from repro.eco.patch import RewireOp
+from repro.eco.validate import validate_rewire
+from repro.bench.runner import traced_case_run
+
+#: mid-size suite case: large enough that per-candidate re-encoding
+#: dominates, small enough for a CI smoke job
+PERF_CASE = 4
+SIM_ROUNDS = 32
+CANDIDATES = 20
+
+
+def _candidate_ops(impl, spec, port, count, seed=11):
+    """Deterministic spec-sourced rewires inside the failing cone."""
+    rng = random.Random(seed)
+    cone = topological_order(impl, roots=[impl.outputs[port]])
+    pins = [Pin.gate(g, 0) for g in cone[-8:]] + [Pin.output(port)]
+    spec_nets = (topological_order(spec, roots=[spec.outputs[port]])
+                 + list(spec.inputs))
+    return pins, [
+        [RewireOp(pin=rng.choice(pins), source_net=rng.choice(spec_nets),
+                  from_spec=True)]
+        for _ in range(count)
+    ]
+
+
+def test_perf_simulation(benchmark, suite_cases, publish):
+    impl = suite_cases[PERF_CASE].impl
+    rng = random.Random(7)
+    word_sets = [random_patterns(impl.inputs, rng)
+                 for _ in range(SIM_ROUNDS)]
+    order = list(topological_order(impl))
+
+    def measure():
+        t0 = time.perf_counter()
+        reference = [simulate_words(impl, words, order)
+                     for words in word_sets]
+        t1 = time.perf_counter()
+        batched = {n: 0 for n in impl.inputs}
+        for r, words in enumerate(word_sets):
+            for name, word in words.items():
+                batched[name] |= word << (64 * r)
+        plan = compiled_plan(impl)
+        values = plan.run_dict(batched, mask=batch_mask(SIM_ROUNDS))
+        t2 = time.perf_counter()
+        # sanity: lane 0 of the batch equals the first reference round
+        for net, value in reference[0].items():
+            assert values[net] & ((1 << 64) - 1) == value
+        return t1 - t0, t2 - t1
+
+    walk_s, plan_s = benchmark.pedantic(measure, rounds=1, iterations=1)
+    patterns = SIM_ROUNDS * 64
+    data = {
+        "bench": "perf_simulation",
+        "case_id": PERF_CASE,
+        "gates": len(impl.gates),
+        "patterns": patterns,
+        "dict_walk_patterns_per_s": patterns / walk_s,
+        "plan_patterns_per_s": patterns / plan_s,
+        "speedup": walk_s / plan_s,
+    }
+    publish("perf_simulation.txt", (
+        f"perf: simulation, case {PERF_CASE} "
+        f"({len(impl.gates)} gates, {patterns} patterns)\n"
+        f"  dict walk     : {data['dict_walk_patterns_per_s']:>12.0f} "
+        f"patterns/s\n"
+        f"  compiled plan : {data['plan_patterns_per_s']:>12.0f} "
+        f"patterns/s\n"
+        f"  speedup       : {data['speedup']:.2f}x"), data=data)
+    assert data["speedup"] > 1.0
+
+
+def test_perf_validation(benchmark, suite_cases, publish):
+    case = suite_cases[PERF_CASE]
+    impl, spec = case.impl, case.spec
+    failing = nonequivalent_outputs(impl, spec)
+    port = failing[0]
+    pins, candidates = _candidate_ops(impl, spec, port, CANDIDATES)
+
+    def measure():
+        t0 = time.perf_counter()
+        legacy = [validate_rewire(impl, spec, ops, failing, {})
+                  for ops in candidates]
+        t1 = time.perf_counter()
+        validator = IncrementalValidator(impl, spec, pins)
+        incremental = [validator.validate(ops, failing, {})
+                       for ops in candidates]
+        t2 = time.perf_counter()
+        for leg, inc in zip(legacy, incremental):
+            assert inc.valid == leg.valid and inc.fixed == leg.fixed
+        return t1 - t0, t2 - t1
+
+    legacy_s, incremental_s = benchmark.pedantic(measure, rounds=1,
+                                                 iterations=1)
+    data = {
+        "bench": "perf_validation",
+        "case_id": PERF_CASE,
+        "candidates": CANDIDATES,
+        "legacy_candidates_per_s": CANDIDATES / legacy_s,
+        "incremental_candidates_per_s": CANDIDATES / incremental_s,
+        "speedup": legacy_s / incremental_s,
+    }
+    publish("perf_validation.txt", (
+        f"perf: validation, case {PERF_CASE} "
+        f"({CANDIDATES} candidates on output {port!r})\n"
+        f"  legacy (copy + re-encode) : "
+        f"{data['legacy_candidates_per_s']:>8.1f} candidates/s\n"
+        f"  incremental (assumptions) : "
+        f"{data['incremental_candidates_per_s']:>8.1f} candidates/s\n"
+        f"  speedup                   : {data['speedup']:.2f}x"),
+        data=data)
+    assert data["speedup"] > 1.0
+
+
+def test_perf_engine_run(benchmark, suite_cases, publish):
+    """One traced end-to-end run, published for the regress gate."""
+    case = suite_cases[PERF_CASE]
+    result, record = benchmark.pedantic(
+        lambda: traced_case_run(case, EcoConfig(seed=3), kind="perf"),
+        rounds=1, iterations=1)
+    counters = result.counters.as_dict()
+    data = {
+        "bench": "perf_engine_run",
+        "case_id": PERF_CASE,
+        "wall_seconds": benchmark.stats.stats.mean,
+        "incremental_solves": counters["incremental_solves"],
+        "encode_cache_hits": counters["encode_cache_hits"],
+        "plan_evals": counters["plan_evals"],
+        "per_output": dict(result.per_output),
+    }
+    publish("perf_engine_run.txt", (
+        f"perf: engine run, case {PERF_CASE} "
+        f"({benchmark.stats.stats.mean:.2f}s)\n"
+        f"  incremental_solves : {data['incremental_solves']}\n"
+        f"  encode_cache_hits  : {data['encode_cache_hits']}\n"
+        f"  plan_evals         : {data['plan_evals']}"),
+        data=data, run_records=[record])
+    assert data["incremental_solves"] > 0
+    assert data["plan_evals"] > 0

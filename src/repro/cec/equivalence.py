@@ -33,20 +33,29 @@ class PairwiseChecker:
 
     Encodes both circuits once over shared input variables and exposes
     per-output-pair queries through assumptions, so checking many pairs
-    reuses all learned clauses.
+    reuses all learned clauses.  An optional
+    :class:`~repro.sat.cnfcache.CnfCache` replays recorded CNF
+    templates instead of re-walking the circuits.
     """
 
-    def __init__(self, left: Circuit, right: Circuit):
+    def __init__(self, left: Circuit, right: Circuit, cache=None):
         self.left = left
         self.right = right
         self.solver = Solver()
         encoder = CircuitEncoder(self.solver)
         shared = {}
         self.input_vars: Dict[str, int] = {}
-        left_map = encoder.encode(left)
+        if cache is not None:
+            left_map = cache.encode(self.solver, left)
+        else:
+            left_map = encoder.encode(left)
         for n in left.inputs:
             shared[n] = left_map[n]
-        right_map = encoder.encode(right, input_vars=shared)
+        if cache is not None:
+            right_map = cache.encode(self.solver, right,
+                                     input_vars=shared)
+        else:
+            right_map = encoder.encode(right, input_vars=shared)
         for n in set(left.inputs) | set(right.inputs):
             self.input_vars[n] = shared.get(n, right_map.get(n))
         self._diff_var: Dict[str, int] = {}
@@ -124,20 +133,55 @@ def check_equivalence(left: Circuit, right: Circuit,
                              failing_outputs=failing)
 
 
+def _output_words(circuit: Circuit, words: Dict[str, int],
+                  mask: int) -> Dict[str, int]:
+    """Output-port values of one multi-word batch (compiled plan)."""
+    from repro.netlist.simulate import compiled_plan
+
+    plan = compiled_plan(circuit)
+    values = plan.run({n: words[n] for n in circuit.inputs}, mask)
+    return {p: values[plan.index[net]]
+            for p, net in circuit.outputs.items()}
+
+
 def nonequivalent_outputs(left: Circuit, right: Circuit,
-                          outputs: Optional[Sequence[str]] = None
-                          ) -> List[str]:
+                          outputs: Optional[Sequence[str]] = None,
+                          sim_rounds: int = 8) -> List[str]:
     """All output ports on which the two circuits disagree.
 
     This is the work-list of the ECO flow (Section 5.2): the engine
     iterates over corresponding output pairs that remain non-equivalent.
+
+    ``sim_rounds`` random 64-pattern words pre-classify the ports: a
+    port whose simulated values differ is *exactly* non-equivalent (the
+    differing pattern is a counterexample), so only simulation-equal
+    ports pay a SAT query.  ``sim_rounds=0`` disables the pre-pass.
     """
+    import random
+
+    from repro.netlist.simulate import batch_mask
+
     if outputs is None:
         outputs = [p for p in left.outputs if p in right.outputs]
-    checker = PairwiseChecker(left, right)
-    bad: List[str] = []
-    for port in outputs:
-        result = checker.check_pair(port)
-        if result.equivalent is False:
-            bad.append(port)
-    return bad
+    bad = set()
+    todo = list(outputs)
+    if sim_rounds:
+        rng = random.Random(2019)
+        mask = batch_mask(sim_rounds)
+        # shared words keyed by sorted name: input order independent
+        words = {n: rng.getrandbits(64 * sim_rounds)
+                 for n in sorted(set(left.inputs) | set(right.inputs))}
+        lvals = _output_words(left, words, mask)
+        rvals = _output_words(right, words, mask)
+        todo = []
+        for port in outputs:
+            if lvals[port] != rvals[port]:
+                bad.add(port)
+            else:
+                todo.append(port)
+    if todo:
+        checker = PairwiseChecker(left, right)
+        for port in todo:
+            if checker.check_pair(port).equivalent is False:
+                bad.add(port)
+    return [p for p in outputs if p in bad]

@@ -140,6 +140,8 @@ def _cmd_eco(args: argparse.Namespace) -> int:
             max_points=args.max_points,
             level_aware=args.level_aware,
             resynthesis=args.resynthesis,
+            incremental_validate=args.incremental_validate,
+            jobs=args.jobs,
             seed=args.seed,
             deadline_s=args.deadline,
             total_sat_budget=args.total_sat_budget,
@@ -161,10 +163,14 @@ def _cmd_eco(args: argparse.Namespace) -> int:
         from repro.obs import Trace
         trace = Trace(name=impl.name)
 
-    if trace is not None:
-        result = engine.rectify(impl, spec, trace=trace)
-    else:
-        result = engine.rectify(impl, spec)
+    from repro.runtime.profile import profiled
+    with profiled(args.profile):
+        if trace is not None:
+            result = engine.rectify(impl, spec, trace=trace)
+        else:
+            result = engine.rectify(impl, spec)
+    if args.profile:
+        print(f"wrote {args.profile} (cProfile stats)")
     from repro.eco.report import format_patch_report
     print(format_patch_report(result, impl=impl,
                               title=f"ECO with {args.engine}"))
@@ -361,6 +367,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="level-driven rewire selection (Table 3 mode)")
     p.add_argument("--resynthesis", action="store_true",
                    help="run the rectification-logic resynthesis pass")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes for the per-output search "
+                        "phase (default: 1 = sequential)")
+    p.add_argument("--no-incremental-validate",
+                   dest="incremental_validate", action="store_false",
+                   default=True,
+                   help="validate candidates with the legacy "
+                        "copy-and-re-encode oracle instead of the "
+                        "incremental assumption-based miter")
+    p.add_argument("--profile", metavar="FILE",
+                   help="profile the run with cProfile and write "
+                        "sorted stats to FILE")
     p.add_argument("--seed", type=int, default=2019)
     p.add_argument("--deadline", type=float, default=None, dest="deadline",
                    metavar="SECONDS",

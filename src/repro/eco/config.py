@@ -66,6 +66,20 @@ class EcoConfig:
             single-output-view limitation; groups of this size at most).
         seed: randomization seed (sampling, simulation).
 
+    Performance machinery (see docs/performance.md):
+
+        incremental_validate: validate candidates on one persistent
+            assumption-based SAT miter per output search
+            (:class:`repro.eco.incremental.IncrementalValidator`)
+            instead of copy-and-re-encode per candidate; the legacy
+            path remains as a cross-check oracle when ``False``.
+        jobs: worker processes for the per-output search phase.  With
+            ``jobs > 1`` non-equivalent outputs are partitioned across
+            a process pool; the run budget is split between workers and
+            every worker's counters, spans and commits are merged back
+            into the main run.  ``1`` (default) keeps the sequential
+            path.
+
     Run supervision (see ``repro.runtime`` and docs/architecture.md):
 
         deadline_s: wall-clock deadline of one ``rectify`` run in
@@ -129,6 +143,8 @@ class EcoConfig:
     exact_domain_max_inputs: int = 0
     cegar_refinement: bool = True
     joint_outputs: int = 1
+    incremental_validate: bool = True
+    jobs: int = 1
     seed: int = 2019
     deadline_s: Optional[float] = None
     total_sat_budget: Optional[int] = None
@@ -148,8 +164,8 @@ class EcoConfig:
                      "max_rewire_candidates", "prime_limit",
                      "pointset_limit", "choice_limit", "sat_budget",
                      "bdd_node_limit", "sim_rounds", "joint_outputs",
-                     "max_output_attempts", "sat_escalation_attempts",
-                     "sat_deescalate_after"):
+                     "jobs", "max_output_attempts",
+                     "sat_escalation_attempts", "sat_deescalate_after"):
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be positive")
         if not (self.use_impl_nets or self.use_spec_nets):

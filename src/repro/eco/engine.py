@@ -56,6 +56,7 @@ from repro.eco.choices import (
     make_clone_aware_cost,
 )
 from repro.eco.config import EcoConfig
+from repro.eco.incremental import IncrementalValidator
 from repro.eco.patch import Patch, RectificationResult, RewireOp
 from repro.eco.points import feasible_point_sets
 from repro.eco.rewiring import RewireCandidate, RewiringContext
@@ -163,8 +164,88 @@ class SysEco:
         logger.info("rectifying %s: %d of %d outputs non-equivalent",
                     impl.name, len(failing), len(impl.outputs))
 
-        while failing:
-            port = failing[0]
+        if config.jobs > 1 and len(failing) > 1:
+            from repro.eco.parallel import parallel_repair
+            with trace.span("eco.parallel", jobs=config.jobs,
+                            failing=len(failing)) as psp:
+                try:
+                    work, failing = parallel_repair(
+                        self, work, spec, failing, patch, per_output,
+                        run)
+                except ResourceBudgetExceeded as exc:
+                    if not config.degrade_on_budget:
+                        raise
+                    run.mark_degraded(str(exc))
+                psp.tag(remaining=len(failing))
+            failing = self._order_by_cone(work, failing)
+
+        work, failing = self._repair_outputs(work, spec, failing, patch,
+                                             per_output, rng, run)
+
+        with trace.span("eco.refine"):
+            refine_patch_inputs(work, patch.cloned_gates,
+                                seed=self.config.seed)
+        if self.config.resynthesis:
+            from repro.eco.resynth import resubstitute_patch
+            with trace.span("eco.resynth") as rsp:
+                resubs, patch_gates = resubstitute_patch(
+                    work, patch.cloned_gates, seed=self.config.seed)
+                rsp.tag(resubstitutions=resubs)
+            patch.cloned_gates = patch_gates
+            run.counters.resubstitutions = resubs
+
+        with trace.span("cec.verify_final") as vsp:
+            if config.jobs > 1:
+                from repro.eco.parallel import parallel_verify
+                verification = parallel_verify(work, spec, config.jobs)
+            else:
+                verification = check_equivalence(work, spec)
+            vsp.tag(equivalent=verification.equivalent)
+        if verification.equivalent is not True:
+            raise EcoError(
+                "final verification failed; counterexample: "
+                f"{verification.counterexample}")
+        logger.info("run summary: %s", run.summary())
+        return RectificationResult(
+            patched=work,
+            patch=patch,
+            verified_outputs=tuple(sorted(work.outputs)),
+            runtime_seconds=now() - started,
+            per_output=per_output,
+            counters=run.counters,
+            degraded=run.degraded,
+            degrade_reason=run.degrade_reason,
+        )
+
+    # ------------------------------------------------------------------
+    def _repair_outputs(self, work: Circuit, spec: Circuit,
+                        failing: List[str], patch: Patch,
+                        per_output: Dict[str, str], rng: random.Random,
+                        run: RunSupervisor,
+                        targets: Optional[Set[str]] = None,
+                        commit_log: Optional[List] = None
+                        ) -> Tuple[Circuit, List[str]]:
+        """Drive the per-output repair loop to completion.
+
+        The workhorse of the run: picks the next failing output, runs
+        the symbolic search (joint first when configured), falls back
+        when the search comes up empty, commits the winning patch and
+        repeats.  With ``targets`` only those outputs are driven (other
+        failing outputs pass through untouched — parallel workers
+        restrict their search this way while still validating against
+        the full failing set).  ``commit_log`` receives one
+        ``(port, how, ops)`` entry per commit so a parent process can
+        replay the patch sequence.
+
+        Returns the patched circuit and the outputs still failing.
+        """
+        config = self.config
+        trace = run.trace
+        while True:
+            port = next((p for p in failing
+                         if targets is None or p in targets), None)
+            if port is None:
+                break
             with trace.span("eco.output", output=port) as osp:
                 outcome = None
                 how = "rewire"
@@ -172,7 +253,9 @@ class SysEco:
                     try:
                         run.checkpoint()
                         if config.joint_outputs > 1 and len(failing) > 1:
-                            group = self._joint_group(work, failing)
+                            ordered = [port] + [p for p in failing
+                                                if p != port]
+                            group = self._joint_group(work, ordered)
                             if len(group) > 1:
                                 with trace.span(
                                         "eco.joint", output=port,
@@ -225,39 +308,12 @@ class SysEco:
                         how if fixed_port == port else "fixed-by-earlier")
                 fixed = set(outcome.fixed)
                 failing = [p for p in failing if p not in fixed]
+                if commit_log is not None:
+                    commit_log.append(
+                        (port, how, list(outcome.committed_ops)))
                 osp.tag(how=how, ops=len(outcome.committed_ops),
                         fixed=len(fixed))
-
-        with trace.span("eco.refine"):
-            refine_patch_inputs(work, patch.cloned_gates,
-                                seed=self.config.seed)
-        if self.config.resynthesis:
-            from repro.eco.resynth import resubstitute_patch
-            with trace.span("eco.resynth") as rsp:
-                resubs, patch_gates = resubstitute_patch(
-                    work, patch.cloned_gates, seed=self.config.seed)
-                rsp.tag(resubstitutions=resubs)
-            patch.cloned_gates = patch_gates
-            run.counters.resubstitutions = resubs
-
-        with trace.span("cec.verify_final") as vsp:
-            verification = check_equivalence(work, spec)
-            vsp.tag(equivalent=verification.equivalent)
-        if verification.equivalent is not True:
-            raise EcoError(
-                "final verification failed; counterexample: "
-                f"{verification.counterexample}")
-        logger.info("run summary: %s", run.summary())
-        return RectificationResult(
-            patched=work,
-            patch=patch,
-            verified_outputs=tuple(sorted(work.outputs)),
-            runtime_seconds=now() - started,
-            per_output=per_output,
-            counters=run.counters,
-            degraded=run.degraded,
-            degrade_reason=run.degrade_reason,
-        )
+        return work, failing
 
     # ------------------------------------------------------------------
     def _check_interfaces(self, impl: Circuit, spec: Circuit) -> None:
@@ -414,7 +470,9 @@ class SysEco:
 
         cost_fn = self._make_cost_fn(work, spec, port, impl_levels,
                                      patch.clone_map)
-        sim_filter = self._make_sim_filter(work, spec, samples)
+        sim_filter = self._make_sim_filter(work, spec, samples,
+                                           counters=run.counters)
+        inc_box: List[Optional[IncrementalValidator]] = [None]
 
         best: Optional[_Commit] = None
         validations = 0
@@ -458,10 +516,9 @@ class SysEco:
                     run.counters.sat_validations += 1
                     with run.trace.span("eco.validate", output=port,
                                         ops=len(ops)) as vsp:
-                        outcome = validate_rewire(
-                            work, spec, ops, failing, patch.clone_map,
-                            sat_budget=config.sat_budget, target=port,
-                            run=run)
+                        outcome = self._validate_candidate(
+                            run, inc_box, work, spec, candidate_pins,
+                            ops, failing, patch.clone_map, port)
                         vsp.tag(valid=outcome.valid,
                                 fixed=len(outcome.fixed))
                     if not outcome.valid and \
@@ -563,7 +620,9 @@ class SysEco:
             spec_values = {p: spec_z[spec.outputs[p]] for p in group}
             cost_fn = self._make_cost_fn(work, spec, group[0],
                                          impl_levels, patch.clone_map)
-            sim_filter = self._make_sim_filter(work, spec, samples)
+            sim_filter = self._make_sim_filter(work, spec, samples,
+                                               counters=run.counters)
+            inc_box: List[Optional[IncrementalValidator]] = [None]
 
             best: Optional[_Commit] = None
             validations = 0
@@ -597,11 +656,9 @@ class SysEco:
                         with run.trace.span(
                                 "eco.validate", output=group[0],
                                 ops=len(ops), joint=True) as vsp:
-                            outcome = validate_rewire(
-                                work, spec, ops, failing,
-                                patch.clone_map,
-                                sat_budget=config.sat_budget,
-                                target=group[0], run=run)
+                            outcome = self._validate_candidate(
+                                run, inc_box, work, spec, pins, ops,
+                                failing, patch.clone_map, group[0])
                             vsp.tag(valid=outcome.valid,
                                     fixed=len(outcome.fixed))
                         if outcome.valid and \
@@ -636,6 +693,39 @@ class SysEco:
         finally:
             if manager is not None:
                 run.close_bdd(manager)
+
+    # ------------------------------------------------------------------
+    def _validate_candidate(self, run: RunSupervisor, inc_box: List,
+                            work: Circuit, spec: Circuit,
+                            pins: Sequence[Pin], ops: List[RewireOp],
+                            failing: Sequence[str],
+                            clone_map: Dict[str, str],
+                            port: str) -> ValidationOutcome:
+        """Full-domain validation through the incremental miter.
+
+        The :class:`IncrementalValidator` for this search is built
+        lazily — only when a candidate actually survives the screens —
+        and kept in ``inc_box`` so every later candidate of the same
+        search is a single assumption-based solve on the one persistent
+        miter.  Rewires outside the registered cut, and runs with
+        ``config.incremental_validate`` off, go through the legacy
+        copy-and-re-encode oracle instead.
+        """
+        config = self.config
+        if config.incremental_validate:
+            validator = inc_box[0]
+            if validator is None:
+                validator = IncrementalValidator(
+                    work, spec, pins, cache=run.cnf_cache,
+                    counters=run.counters)
+                inc_box[0] = validator
+            if validator.covers(ops):
+                return validator.validate(
+                    ops, failing, clone_map,
+                    sat_budget=config.sat_budget, target=port, run=run)
+        return validate_rewire(work, spec, ops, failing, clone_map,
+                               sat_budget=config.sat_budget,
+                               target=port, run=run)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -673,7 +763,8 @@ class SysEco:
 
     # ------------------------------------------------------------------
     def _make_sim_filter(self, work: Circuit, spec: Circuit,
-                         samples: List[Dict[str, bool]]) -> SimulationFilter:
+                         samples: List[Dict[str, bool]],
+                         counters=None) -> SimulationFilter:
         """Error samples plus fresh random words for the cheap screen."""
         rng = random.Random(self.config.seed ^ 0x53C0)
         words_list = [patterns_to_words(work.inputs, samples[:64])]
@@ -681,7 +772,8 @@ class SysEco:
             words_list.append({
                 n: rng.getrandbits(64) for n in work.inputs
             })
-        return SimulationFilter(work, spec, words_list)
+        return SimulationFilter(work, spec, words_list,
+                                counters=counters)
 
     # ------------------------------------------------------------------
     def _make_cost_fn(self, work: Circuit, spec: Circuit, port: str,

@@ -1,0 +1,269 @@
+"""Parallel per-output rectification search (``EcoConfig.jobs``).
+
+With ``jobs > 1`` the non-equivalent outputs are partitioned into
+groups and each group is searched by a separate worker process running
+the same :meth:`SysEco._repair_outputs` loop the sequential engine
+uses.  Every worker gets
+
+* a pickled snapshot of the work-in-progress circuit and the spec
+  (derived caches are stripped on pickling and rebuilt lazily),
+* the **full** failing list — validation must know every currently
+  failing output, or candidates that also touch another group's
+  failing outputs would be wrongly rejected as damaging a "passing"
+  output — plus its own ``targets`` subset to drive,
+* a share of the run budget: SAT conflicts and BDD nodes are divided
+  ``remaining // (jobs + 1)`` (one share held back for the main
+  process), wall-clock deadline is concurrent and passed whole.
+
+Workers return their commit logs, counters, and trace records.  The
+main process absorbs the telemetry into the run supervisor and
+*replays* each commit against its own evolving circuit under the
+supervised validator — two workers can commit patches that conflict
+(e.g. both rewire the same shared gate), so a worker's verdict is
+never trusted across process boundaries.  Commits that fail replay are
+dropped; their outputs simply stay failing and the sequential loop
+that follows the parallel phase repairs them with the reserve budget.
+
+``REPRO_ECO_JOBS_INLINE=1`` forces workers to run in-process (same
+code path minus the pool), which keeps multi-worker merge behavior
+deterministic for tests.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import pickle
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ResourceBudgetExceeded
+from repro.netlist.circuit import Circuit
+from repro.obs.trace import Trace
+from repro.runtime.supervisor import RunSupervisor
+
+logger = logging.getLogger("repro.eco")
+
+
+@dataclass
+class WorkerResult:
+    """Everything a search worker ships back to the main process."""
+
+    targets: Tuple[str, ...]
+    #: ``(port, how, ops)`` per commit, in commit order
+    commits: List[Tuple[str, str, list]] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+    records: List[dict] = field(default_factory=list)
+    degraded: bool = False
+    degrade_reason: Optional[str] = None
+    #: budget exception message when the worker aborted in strict mode
+    error: Optional[str] = None
+
+
+def _run_worker(payload) -> WorkerResult:
+    """One worker: repair ``targets`` on a private copy of the run.
+
+    Module-level so it pickles for :class:`ProcessPoolExecutor`; also
+    called directly in inline mode.
+    """
+    import random
+
+    from repro.eco.engine import SysEco
+    from repro.eco.patch import Patch
+
+    work, spec, config, failing, targets = payload
+    engine = SysEco(config)
+    trace = Trace(name=f"worker:{','.join(targets)}")
+    run = RunSupervisor.from_config(config, trace=trace)
+    trace.set_counters(run.counters)
+    rng = random.Random(config.seed)
+    patch = Patch()
+    per_output: Dict[str, str] = {}
+    result = WorkerResult(targets=tuple(targets))
+    try:
+        with trace.span("eco.worker", targets=",".join(targets),
+                        failing=len(failing)):
+            engine._repair_outputs(work, spec, list(failing), patch,
+                                   per_output, rng, run,
+                                   targets=set(targets),
+                                   commit_log=result.commits)
+    except ResourceBudgetExceeded as exc:
+        # strict mode: ship telemetry and partial commits back, the
+        # main process re-raises after absorbing them
+        result.error = str(exc)
+    result.counters = run.counters.as_dict()
+    result.records = trace.records()
+    result.degraded = run.degraded
+    result.degrade_reason = run.degrade_reason
+    return result
+
+
+def partition_targets(failing: Sequence[str],
+                      jobs: int) -> List[List[str]]:
+    """Deal the failing outputs round-robin into ``jobs`` groups.
+
+    ``failing`` arrives cone-size ordered (small first), so the deal
+    balances expected work; empty groups are dropped.
+    """
+    groups: List[List[str]] = [[] for _ in range(jobs)]
+    for i, port in enumerate(failing):
+        groups[i % jobs].append(port)
+    return [g for g in groups if g]
+
+
+def _ops_applicable(work: Circuit, spec: Circuit, ops) -> bool:
+    """All pins and sources of the ops exist in the replay circuits.
+
+    A commit whose sources were cloned by an *earlier* worker commit
+    that failed replay references nets the main circuit never grew;
+    such commits cannot be replayed and are dropped.
+    """
+    for op in ops:
+        if op.from_spec:
+            if not (spec.has_net(op.source_net)
+                    or op.source_net in spec.inputs):
+                return False
+        elif not work.has_net(op.source_net):
+            return False
+        if op.pin.is_output_port:
+            if op.pin.owner not in work.outputs:
+                return False
+        elif op.pin.owner not in work.gates:
+            return False
+    return True
+
+
+def _verify_worker(payload):
+    """Prove one output group of the final verification miter."""
+    from repro.cec.equivalence import check_equivalence
+
+    work, spec, group = payload
+    return check_equivalence(work, spec, outputs=group)
+
+
+def parallel_verify(work: Circuit, spec: Circuit, jobs: int):
+    """Final full verification, fanned across output groups.
+
+    Unlike search commits, verification verdicts need no replay: each
+    worker proves its own output pairs on the same frozen circuits, so
+    the conjunction of the group results *is* the whole-miter result.
+    Returns the first failing group's result (counterexample included),
+    ``EquivalenceResult(None)`` when any group went over budget, or
+    ``EquivalenceResult(True)``.
+    """
+    from repro.cec.equivalence import EquivalenceResult, check_equivalence
+
+    outputs = [p for p in work.outputs if p in spec.outputs]
+    jobs = min(jobs, len(outputs))
+    if jobs < 2:
+        return check_equivalence(work, spec)
+    groups = partition_targets(outputs, jobs)
+    payloads = [(work, spec, group) for group in groups]
+    if os.environ.get("REPRO_ECO_JOBS_INLINE") == "1":
+        results = [_verify_worker(p) for p in payloads]
+    else:
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+            with ProcessPoolExecutor(max_workers=len(groups)) as pool:
+                results = list(pool.map(_verify_worker, payloads))
+        except (OSError, pickle.PicklingError, ImportError) as exc:
+            logger.warning("parallel verification unavailable (%s); "
+                           "verifying sequentially", exc)
+            return check_equivalence(work, spec)
+    unknown = False
+    for result in results:
+        if result.equivalent is False:
+            return result
+        if result.equivalent is None:
+            unknown = True
+    return EquivalenceResult(None if unknown else True)
+
+
+def parallel_repair(engine, work: Circuit, spec: Circuit,
+                    failing: List[str], patch, per_output: Dict[str, str],
+                    run: RunSupervisor) -> Tuple[Circuit, List[str]]:
+    """Fan the failing outputs across workers and merge the results.
+
+    Returns the replayed work circuit and the outputs still failing
+    (replay conflicts and worker misses fall through to the caller's
+    sequential loop).  Raises :class:`ResourceBudgetExceeded` when a
+    worker aborted in strict mode, after absorbing all telemetry.
+    """
+    from repro.eco.validate import assert_patch_structure, validate_rewire
+
+    config = engine.config
+    jobs = min(config.jobs, len(failing))
+    groups = partition_targets(failing, jobs)
+    share = run.partition_budget(len(groups))
+    worker_config = replace(
+        config, jobs=1,
+        deadline_s=share["deadline_s"],
+        total_sat_budget=share["total_sat_budget"],
+        total_bdd_nodes=share["total_bdd_nodes"])
+    payloads = [(work, spec, worker_config, list(failing), group)
+                for group in groups]
+
+    inline = os.environ.get("REPRO_ECO_JOBS_INLINE") == "1"
+    if inline:
+        results = [_run_worker(p) for p in payloads]
+    else:
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+            with ProcessPoolExecutor(max_workers=len(groups)) as pool:
+                results = list(pool.map(_run_worker, payloads))
+        except (OSError, pickle.PicklingError, ImportError) as exc:
+            # no process pool available (restricted environments):
+            # leave everything to the caller's sequential loop
+            logger.warning("parallel search unavailable (%s); "
+                           "falling back to sequential", exc)
+            run.trace.event("eco.parallel_fallback", reason=str(exc))
+            return work, failing
+
+    strict_error: Optional[str] = None
+    for result in results:
+        run.absorb_worker(result.counters, degraded=result.degraded,
+                          degrade_reason=result.degrade_reason)
+        run.trace.absorb(result.records)
+        if result.error is not None and strict_error is None:
+            strict_error = result.error
+    if strict_error is not None and not config.degrade_on_budget:
+        raise ResourceBudgetExceeded(
+            f"parallel worker aborted: {strict_error}")
+
+    # replay every worker commit against the main circuit, re-validated
+    # under the supervised solver: worker verdicts were computed against
+    # a snapshot and may conflict with another group's commits
+    failing_now = list(failing)
+    replayed = rejected = 0
+    for result in results:
+        for port, how, ops in result.commits:
+            run.checkpoint()
+            if not _ops_applicable(work, spec, ops):
+                rejected += 1
+                run.trace.event("eco.replay_skip", output=port)
+                continue
+            outcome = validate_rewire(
+                work, spec, ops, failing_now, patch.clone_map,
+                sat_budget=config.sat_budget, target=port, run=run)
+            if not outcome.valid:
+                rejected += 1
+                run.trace.event("eco.replay_reject", output=port,
+                                ops=len(ops))
+                continue
+            new_work = outcome.patched
+            assert_patch_structure(new_work, ops)
+            work = new_work
+            patch.record(ops, outcome.clone_map, outcome.new_gates)
+            for fixed_port in outcome.fixed:
+                per_output[fixed_port] = (
+                    how if fixed_port == port else "fixed-by-earlier")
+            fixed = set(outcome.fixed)
+            failing_now = [p for p in failing_now if p not in fixed]
+            replayed += 1
+    run.trace.event("eco.parallel_merged", workers=len(results),
+                    replayed=replayed, rejected=rejected,
+                    remaining=len(failing_now))
+    logger.info("parallel phase: %d workers, %d commits replayed, "
+                "%d rejected, %d outputs remaining",
+                len(results), replayed, rejected, len(failing_now))
+    return work, failing_now

@@ -20,8 +20,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.netlist.circuit import Circuit
 from repro.netlist.gate import WORD_BITS
-from repro.netlist.simulate import random_patterns, simulate_words
-from repro.netlist.traverse import topological_order
+from repro.netlist.simulate import compiled_plan, random_patterns
 from repro.sat import Solver, SAT
 from repro.sat.tseitin import CircuitEncoder
 
@@ -38,17 +37,20 @@ def simulation_error_samples(impl: Circuit, spec: Circuit, port: str,
                              max_rounds: int = 24) -> List[Assignment]:
     """Harvest error-domain assignments by random simulation."""
     inputs = impl.inputs
-    impl_order = topological_order(impl, roots=[impl.outputs[port]])
-    spec_order = topological_order(spec, roots=[spec.outputs[port]])
     impl_net = impl.outputs[port]
     spec_net = spec.outputs[port]
+    # cached cone plans: only the target output's fanin is evaluated
+    impl_plan = compiled_plan(impl, roots=[impl_net])
+    spec_plan = compiled_plan(spec, roots=[spec_net])
+    impl_slot = impl_plan.index[impl_net]
+    spec_slot = spec_plan.index[spec_net]
     found: List[Assignment] = []
     seen = set()
     for _ in range(max_rounds):
         words = random_patterns(inputs, rng)
         spec_words = {n: words.get(n, 0) for n in spec.inputs}
-        iv = simulate_words(impl, words, impl_order)[impl_net]
-        sv = simulate_words(spec, spec_words, spec_order)[spec_net]
+        iv = impl_plan.run(words)[impl_slot]
+        sv = spec_plan.run(spec_words)[spec_slot]
         diff = iv ^ sv
         bit = 0
         while diff and len(found) < want:

@@ -17,8 +17,8 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import PatchStructureError
 from repro.netlist.circuit import Circuit, Pin
-from repro.netlist.gate import eval_gate
-from repro.netlist.simulate import simulate_words
+from repro.netlist.gate import WORD_BITS
+from repro.netlist.simulate import batch_mask, compiled_plan, eval_opcode
 from repro.netlist.traverse import (
     dependent_outputs,
     topological_order,
@@ -176,21 +176,43 @@ class SimulationFilter:
     samples plus fresh random words): any output mismatch on any
     pattern disqualifies it immediately.  Passing the screen is
     necessary but not sufficient — SAT still gives the final word.
+
+    All words are packed into one multi-word batch and evaluated
+    through the circuits' compiled plans once at construction; each
+    candidate is then screened as a *value overlay* — only gates
+    downstream of a rewired pin are re-evaluated, on plain
+    integer-indexed values.
     """
 
     def __init__(self, impl: Circuit, spec: Circuit,
-                 words_list: Sequence[Dict[str, int]]):
+                 words_list: Sequence[Dict[str, int]],
+                 counters=None):
         self.impl = impl
         self.spec = spec
-        self.order = topological_order(impl)
         self.words_list = list(words_list)
-        self.base_values = [simulate_words(impl, w, self.order)
-                            for w in self.words_list]
-        spec_order = topological_order(spec)
-        self.spec_values = []
-        for w in self.words_list:
-            sw = {n: w.get(n, 0) for n in spec.inputs}
-            self.spec_values.append(simulate_words(spec, sw, spec_order))
+        self.counters = counters
+        width = max(1, len(self.words_list))
+        self.mask = batch_mask(width)
+        batch: Dict[str, int] = {}
+        for k, words in enumerate(self.words_list):
+            shift = WORD_BITS * k
+            for name in impl.inputs:
+                batch[name] = batch.get(name, 0) | \
+                    (words.get(name, 0) << shift)
+        self.plan = compiled_plan(impl)
+        self.spec_plan = compiled_plan(spec)
+        spec_batch = {n: batch.get(n, 0) for n in spec.inputs}
+        self.base = self.plan.run(batch, self.mask)
+        self.spec_base = self.spec_plan.run(spec_batch, self.mask)
+        if counters is not None:
+            counters.plan_evals += 2
+
+    def _source_value(self, op: RewireOp,
+                      updated: Dict[int, int]) -> int:
+        if op.from_spec:
+            return self.spec_base[self.spec_plan.index[op.source_net]]
+        idx = self.plan.index[op.source_net]
+        return updated.get(idx, self.base[idx])
 
     def passes(self, ops: Sequence[RewireOp], target: str,
                failing: Sequence[str]) -> bool:
@@ -202,45 +224,58 @@ class SimulationFilter:
         rewire happens to fix).
         """
         failing_set = set(failing) - {target}
+        plan = self.plan
+        index = plan.index
+        base = self.base
+        mask = self.mask
+        if self.counters is not None:
+            self.counters.plan_evals += 1
 
-        op_map: Dict[Pin, RewireOp] = {op.pin: op for op in ops}
-        impl, spec = self.impl, self.spec
-        for base, spec_vals in zip(self.base_values, self.spec_values):
-            updated: Dict[str, int] = {}
+        # last op per pin wins, as in the reference per-pattern screen
+        gate_ops: Dict[int, Dict[int, RewireOp]] = {}
+        port_ops: Dict[str, RewireOp] = {}
+        for op in ops:
+            if op.pin.is_output_port:
+                port_ops[op.pin.owner] = op
+            else:
+                gate_ops.setdefault(
+                    index[op.pin.owner], {})[op.pin.index] = op
 
-            def value(net: str) -> int:
-                return updated.get(net, base[net])
-
-            def source_value(op: RewireOp) -> int:
-                if op.from_spec:
-                    return spec_vals[op.source_net]
-                return value(op.source_net)
-
-            for gname in self.order:
-                gate = impl.gates[gname]
-                touched = False
-                operands = []
-                for idx, fanin in enumerate(gate.fanins):
-                    op = op_map.get(Pin.gate(gname, idx))
-                    if op is not None:
-                        operands.append(source_value(op))
-                        touched = True
-                    else:
-                        v = value(fanin)
-                        if fanin in updated:
-                            touched = True
-                        operands.append(v)
-                if touched:
-                    new = eval_gate(gate.gtype, operands)
-                    if new != base[gname]:
-                        updated[gname] = new
-            for port, net in impl.outputs.items():
-                if port in failing_set:
+        updated: Dict[int, int] = {}
+        for out, opcode, fanins in plan.steps:
+            pin_ops = gate_ops.get(out)
+            if pin_ops is None:
+                for j in fanins:
+                    if j in updated:
+                        break
+                else:
                     continue
-                op = op_map.get(Pin.output(port))
-                got = source_value(op) if op is not None else value(net)
-                if got != spec_vals[spec.outputs[port]]:
-                    return False
+                operands = [updated.get(j, base[j]) for j in fanins]
+            else:
+                operands = []
+                for pos, j in enumerate(fanins):
+                    op = pin_ops.get(pos)
+                    if op is not None:
+                        operands.append(self._source_value(op, updated))
+                    else:
+                        operands.append(updated.get(j, base[j]))
+            new = eval_opcode(opcode, operands, mask)
+            if new != base[out]:
+                updated[out] = new
+
+        spec_index = self.spec_plan.index
+        spec_base = self.spec_base
+        for port, net in self.impl.outputs.items():
+            if port in failing_set:
+                continue
+            op = port_ops.get(port)
+            if op is not None:
+                got = self._source_value(op, updated)
+            else:
+                j = index[net]
+                got = updated.get(j, base[j])
+            if got != spec_base[spec_index[self.spec.outputs[port]]]:
+                return False
         return True
 
 
@@ -266,7 +301,7 @@ def validate_rewire(impl: Circuit, spec: Circuit, ops: Sequence[RewireOp],
                     failing: Sequence[str], clone_map: Dict[str, str],
                     sat_budget: Optional[int] = None,
                     target: Optional[str] = None,
-                    run=None) -> ValidationOutcome:
+                    run=None, cache=None) -> ValidationOutcome:
     """Exact check of a candidate rewire on the full input domain.
 
     A candidate is valid when every output it touches is either proven
@@ -301,7 +336,9 @@ def validate_rewire(impl: Circuit, spec: Circuit, ops: Sequence[RewireOp],
             affected.add(op.pin.owner)
 
     failing_set = set(failing)
-    checker = PairwiseChecker(work, spec)
+    if cache is None and run is not None:
+        cache = getattr(run, "cnf_cache", None)
+    checker = PairwiseChecker(work, spec, cache=cache)
     fixed: List[str] = []
     unknown: List[str] = []
     target_cex: Optional[Dict[str, bool]] = None

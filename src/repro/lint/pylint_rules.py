@@ -49,6 +49,7 @@ SOLVE_ALLOWED: Tuple[str, ...] = (
     "repro/eco/samples.py",
     "repro/eco/resynth.py",
     "repro/eco/sweep.py",
+    "repro/eco/incremental.py",
     "repro/baselines/",
     "repro/runtime/",
 )

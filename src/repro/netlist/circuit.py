@@ -95,6 +95,28 @@ class Circuit:
         self.outputs: Dict[str, str] = {}
         self.gates: Dict[str, Gate] = {}
         self._input_set: set = set()
+        #: derived-data cache (topological orders, compiled simulation
+        #: plans, structural digests); dropped on any mutation.  Helpers
+        #: in repro.netlist own their keys; see :meth:`derived_cache`.
+        self._derived: dict = {}
+
+    # ------------------------------------------------------------------
+    # derived-data cache
+    # ------------------------------------------------------------------
+    def derived_cache(self) -> dict:
+        """Cache for data derived from the current topology.
+
+        Entries are owned by the computing helpers
+        (:func:`repro.netlist.traverse.topological_order`,
+        :func:`repro.netlist.simulate.compiled_plan`, ...) and must be
+        pure functions of the circuit structure: any mutating edit
+        clears the whole cache.
+        """
+        return self._derived
+
+    def _invalidate_derived(self) -> None:
+        if self._derived:
+            self._derived = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -105,6 +127,7 @@ class Circuit:
             raise NetlistError(f"duplicate net name {name!r}")
         self.inputs.append(name)
         self._input_set.add(name)
+        self._invalidate_derived()
         return name
 
     def add_inputs(self, names: Iterable[str]) -> List[str]:
@@ -120,6 +143,7 @@ class Circuit:
                     f"gate {name!r}: fanin net {f!r} does not exist"
                 )
         self.gates[name] = Gate(name, gtype, fanins)
+        self._invalidate_derived()
         return name
 
     def set_output(self, port: str, net: str) -> None:
@@ -127,6 +151,7 @@ class Circuit:
         if not self.has_net(net):
             raise NetlistError(f"output {port!r}: net {net!r} does not exist")
         self.outputs[port] = net
+        self._invalidate_derived()
 
     # Convenience constructors used heavily by the workload generators
     # and tests.  Each adds a gate with a fresh or given name.
@@ -269,6 +294,7 @@ class Circuit:
             self.outputs[pin.owner] = net
         else:
             self.gates[pin.owner].fanins[pin.index] = net
+        self._invalidate_derived()
         return old
 
     def replace_net(self, old: str, new: str) -> int:
@@ -286,6 +312,7 @@ class Circuit:
         if self.sinks(name):
             raise NetlistError(f"gate {name!r} still has sinks")
         del self.gates[name]
+        self._invalidate_derived()
 
     def copy(self, name: Optional[str] = None) -> "Circuit":
         """Deep copy of the circuit."""
@@ -295,6 +322,19 @@ class Circuit:
         c.outputs = dict(self.outputs)
         c.gates = {k: g.copy() for k, g in self.gates.items()}
         return c
+
+    def __getstate__(self) -> dict:
+        # the derived cache can be large (compiled plans) and is cheap
+        # to recompute; don't ship it across process boundaries
+        state = dict(self.__dict__)
+        state["_derived"] = {}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # circuits pickled by older versions predate the cache
+        if "_derived" not in self.__dict__:
+            self._derived = {}
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:

@@ -8,6 +8,10 @@ from repro.errors import NetlistError
 from repro.netlist.circuit import Circuit
 
 
+#: key of the cached whole-circuit order in ``Circuit.derived_cache()``
+_TOPO_KEY = "topo_order"
+
+
 def topological_order(circuit: Circuit,
                       roots: Optional[Iterable[str]] = None) -> List[str]:
     """Gate names in topological (fanin-before-fanout) order.
@@ -15,8 +19,17 @@ def topological_order(circuit: Circuit,
     When ``roots`` is given, only gates in the transitive fanin of those
     nets are returned.  Raises :class:`NetlistError` on a combinational
     cycle.
+
+    The whole-circuit order (``roots=None``) is cached on the circuit
+    and invalidated by any mutating edit; callers must treat the
+    returned list as read-only.
     """
+    cache = None
     if roots is None:
+        cache = circuit.derived_cache()
+        cached = cache.get(_TOPO_KEY)
+        if cached is not None:
+            return cached
         targets: List[str] = list(circuit.gates)
     else:
         targets = [r for r in roots if r in circuit.gates]
@@ -46,6 +59,8 @@ def topological_order(circuit: Circuit,
                 if state.get(net) != 1:
                     state[net] = 1
                     order.append(net)
+    if cache is not None:
+        cache[_TOPO_KEY] = order
     return order
 
 

@@ -173,6 +173,44 @@ class Trace:
         self.spans.append(span)
 
     # ------------------------------------------------------------------
+    def absorb(self, records: List[Dict[str, Any]],
+               parent: Optional[int] = None,
+               offset_s: float = 0.0) -> None:
+        """Graft another trace's :meth:`records` into this trace.
+
+        Parallel workers trace into private :class:`Trace` objects and
+        ship the serialized records back; absorbing re-ids every span
+        (offset by this trace's id counter, so ids stay unique), hangs
+        worker roots under ``parent`` (or under the currently open span
+        when ``None``) and shifts timestamps by ``offset_s``.  ``meta``
+        records are dropped — the parent run owns the metadata.
+        """
+        base = self._next_id
+        if parent is None and self._stack:
+            parent = self._stack[-1].span_id
+        max_id = 0
+        for rec in records:
+            kind = rec.get("type")
+            if kind == "span":
+                max_id = max(max_id, rec["id"])
+                sp = Span(self, base + rec["id"],
+                          (parent if rec.get("parent") is None
+                           else base + rec["parent"]),
+                          rec["name"], dict(rec.get("tags", {})),
+                          rec["ts"] + offset_s, None)
+                sp.t_end = sp.t_start + rec.get("dur", 0.0)
+                sp.counters = dict(rec.get("counters", {}))
+                self.spans.append(sp)
+            elif kind == "event":
+                span_id = rec.get("span")
+                self.events.append(Event(
+                    rec["name"], rec["ts"] + offset_s,
+                    parent if span_id is None else base + span_id,
+                    dict(rec.get("tags", {}))))
+        self._next_id = base + max_id + 1
+        self.progress += 1
+
+    # ------------------------------------------------------------------
     @property
     def wall_seconds(self) -> float:
         """End of the latest finished span (= attributed wall time)."""
@@ -263,6 +301,11 @@ class NullTrace:
         return _NULL_SPAN
 
     def event(self, name: str, **tags: Any) -> None:
+        pass
+
+    def absorb(self, records: List[Dict[str, Any]],
+               parent: Optional[int] = None,
+               offset_s: float = 0.0) -> None:
         pass
 
     def records(self) -> List[Dict[str, Any]]:

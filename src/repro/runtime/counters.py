@@ -30,6 +30,17 @@ class RunCounters:
     * ``joint_commits`` — multi-output joint commits;
     * ``resubstitutions`` — resynthesis-pass resubstitutions.
 
+    Performance machinery (the incremental/compiled fast paths):
+
+    * ``incremental_solves`` — assumption-based candidate solves on the
+      persistent validation miter;
+    * ``encode_cache_hits`` — CNF encodings served by template replay
+      instead of a fresh Tseitin walk;
+    * ``plan_evals`` — batched evaluations through compiled simulation
+      plans (engine-visible ones: screens and samplers);
+    * ``parallel_workers`` — worker processes that contributed results
+      to a parallel per-output search.
+
     Supervision (the :mod:`repro.runtime` layer writes these):
 
     * ``sat_escalations`` — per-call budget escalation retries;
@@ -52,6 +63,10 @@ class RunCounters:
     cegar_rounds: int = 0
     joint_commits: int = 0
     resubstitutions: int = 0
+    incremental_solves: int = 0
+    encode_cache_hits: int = 0
+    plan_evals: int = 0
+    parallel_workers: int = 0
     sat_escalations: int = 0
     sat_deescalations: int = 0
     sat_unknowns: int = 0

@@ -1,0 +1,48 @@
+"""Optional cProfile wrapping for engine runs (``repro eco --profile``).
+
+Kept in :mod:`repro.runtime` next to the other wall-clock machinery:
+profiling is a run-supervision concern, not an engine one, and the
+engine stays import-free of :mod:`cProfile`.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+
+@contextmanager
+def profiled(path: Optional[str],
+             sort: str = "cumulative",
+             limit: int = 60) -> Iterator[Optional[cProfile.Profile]]:
+    """Profile the enclosed block and write sorted stats to ``path``.
+
+    With ``path=None`` the block runs unprofiled (zero overhead), so
+    callers can wrap unconditionally::
+
+        with profiled(args.profile):
+            result = engine.rectify(impl, spec)
+
+    The stats file holds the ``pstats`` text report sorted by ``sort``
+    (top ``limit`` entries), written even when the block raises — a
+    profile of a run that blew its budget is exactly the interesting
+    case.
+    """
+    if path is None:
+        yield None
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        buf = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buf)
+        stats.sort_stats(sort)
+        stats.print_stats(limit)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(buf.getvalue())

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Set
 from repro.errors import BddNodeLimitError, SatBudgetExceeded
 from repro.obs.trace import ensure_trace
 from repro.runtime.budget import RunBudget
+from repro.sat.cnfcache import CnfCache
 from repro.runtime.counters import RunCounters
 from repro.runtime.escalate import MIN_INITIAL, EscalationPolicy
 from repro.runtime.faultinject import (
@@ -66,12 +67,18 @@ class RunSupervisor:
         self.counters = RunCounters()
         self.degraded = False
         self.degrade_reason: Optional[str] = None
+        #: run-wide CNF template cache (spec cones, miter encodings)
+        self.cnf_cache = CnfCache(counters=self.counters)
         #: per-run scratch for counterexample-guided refinement
         self.cegar_cex: List[Dict[str, bool]] = []
         self._attempts: Dict[str, int] = {}
         self._capped: Set[str] = set()
         self._bdd_spans: List = []
         self._live_bdd: List = []
+        # escalation counts absorbed from parallel workers; the local
+        # escalation policy's totals are reported on top of these
+        self._merged_escalations = 0
+        self._merged_deescalations = 0
 
     # ------------------------------------------------------------------
     @classmethod
@@ -254,9 +261,65 @@ class RunSupervisor:
                 span.tag(attempts=attempts, conflicts=conflicts,
                          result=verdict[result.equivalent])
         self.escalation.record(resolved)
-        self.counters.sat_escalations = self.escalation.escalations
-        self.counters.sat_deescalations = self.escalation.deescalations
+        self.counters.sat_escalations = (
+            self._merged_escalations + self.escalation.escalations)
+        self.counters.sat_deescalations = (
+            self._merged_deescalations + self.escalation.deescalations)
         return result
+
+    # ------------------------------------------------------------------
+    # parallel workers
+    # ------------------------------------------------------------------
+    def partition_budget(self, jobs: int) -> Dict[str, Optional[float]]:
+        """Budget share of one of ``jobs`` parallel workers.
+
+        SAT conflicts and BDD nodes are split evenly with one extra
+        share held back for the main process (commit replay, fallbacks),
+        so the aggregate caps hold across workers by construction.
+        Wall-clock time is concurrent, not divided: every worker gets
+        the remaining deadline.
+        """
+        time_left = self.budget.time_left()
+        sat_left = self.budget.sat_remaining()
+        bdd_left = self.budget.bdd_remaining()
+        shares = jobs + 1
+        return {
+            "deadline_s": time_left,
+            "total_sat_budget":
+                None if sat_left is None else max(1, sat_left // shares),
+            "total_bdd_nodes":
+                None if bdd_left is None else max(1, bdd_left // shares),
+        }
+
+    def absorb_worker(self, counters: Dict[str, int],
+                      degraded: bool = False,
+                      degrade_reason: Optional[str] = None) -> None:
+        """Merge one worker's telemetry into this run.
+
+        Adds every counter (escalation totals go through the merged
+        base so later local assignments do not clobber them), charges
+        the worker's actual SAT/BDD spend to the aggregate budget, and
+        propagates degradation.
+        """
+        for name, value in counters.items():
+            if name not in self.counters or not value:
+                continue
+            if name == "sat_escalations":
+                self._merged_escalations += value
+            elif name == "sat_deescalations":
+                self._merged_deescalations += value
+            else:
+                setattr(self.counters, name,
+                        getattr(self.counters, name) + value)
+        self.counters.sat_escalations = (
+            self._merged_escalations + self.escalation.escalations)
+        self.counters.sat_deescalations = (
+            self._merged_deescalations + self.escalation.deescalations)
+        self.budget.charge_sat(counters.get("sat_conflicts_spent", 0))
+        self.budget.charge_bdd(counters.get("bdd_nodes_spent", 0))
+        self.counters.parallel_workers += 1
+        if degraded:
+            self.mark_degraded(degrade_reason or "worker degraded")
 
     # ------------------------------------------------------------------
     def summary(self) -> str:

@@ -15,6 +15,7 @@ to validate sampled rewire candidates (Section 5.1).
 from repro.sat.solver import Solver, SAT, UNSAT, UNKNOWN
 from repro.sat.cnf import Cnf, parse_dimacs, to_dimacs
 from repro.sat.tseitin import CircuitEncoder, encode_circuit
+from repro.sat.cnfcache import CnfCache, CnfTemplate
 
 __all__ = [
     "Solver",
@@ -26,4 +27,6 @@ __all__ = [
     "to_dimacs",
     "CircuitEncoder",
     "encode_circuit",
+    "CnfCache",
+    "CnfTemplate",
 ]

@@ -1,0 +1,151 @@
+"""Structural-hash-keyed CNF template cache.
+
+Tseitin-encoding a circuit costs a topological walk with per-gate
+dispatch.  The clause *structure* of that encoding depends only on the
+circuit, so :class:`CnfCache` records it once as a template — clauses
+over abstract variable slots — and replays it into any solver by
+allocating fresh variables per slot and translating literals.  Replay
+skips the walk and the dispatch entirely.
+
+Templates are keyed by a digest built from
+:func:`repro.netlist.hashing.structural_hash` keys bound to net names.
+The key is canonical up to symmetric-fanin reordering, which preserves
+every net's function, so a hit across reordered variants yields a
+logically equivalent encoding: any query phrased over net variables
+(equivalence miters, validation diffs) gets the same verdicts and
+valid counterexamples.
+
+The big win in the ECO engine: the specification never changes across
+a run, and the work-in-progress implementation changes only when a
+patch commits, so nearly every validation-time encode after the first
+is a template replay (counted in ``RunCounters.encode_cache_hits``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.hashing import structural_hash
+from repro.netlist.traverse import topological_order
+from repro.sat.tseitin import CircuitEncoder
+
+
+class _RecordingSolver:
+    """Records the solver surface :class:`CircuitEncoder` drives.
+
+    Variables become consecutive abstract slots starting at 1; clauses
+    are stored as literal tuples over those slots.
+    """
+
+    __slots__ = ("slots", "clauses")
+
+    def __init__(self):
+        self.slots = 0
+        self.clauses: List[Tuple[int, ...]] = []
+
+    def new_var(self) -> int:
+        self.slots += 1
+        return self.slots
+
+    def add_clause(self, lits) -> None:
+        self.clauses.append(tuple(lits))
+
+
+class CnfTemplate:
+    """One recorded circuit encoding: clauses over abstract slots."""
+
+    __slots__ = ("input_names", "num_slots", "clauses", "net_slot")
+
+    def __init__(self, circuit: Circuit):
+        rec = _RecordingSolver()
+        self.input_names: Tuple[str, ...] = tuple(circuit.inputs)
+        # reserve the input slots first so replay can map them onto
+        # existing solver variables
+        input_slots = {n: rec.new_var() for n in self.input_names}
+        encoder = CircuitEncoder(rec)
+        self.net_slot: Dict[str, int] = dict(
+            encoder.encode(circuit, input_vars=input_slots))
+        self.num_slots = rec.slots
+        self.clauses = rec.clauses
+
+    def instantiate(self, solver,
+                    input_vars: Optional[Mapping[str, int]] = None
+                    ) -> Dict[str, int]:
+        """Replay into ``solver``; returns net name -> solver variable.
+
+        ``input_vars`` maps input names onto existing solver variables
+        (fresh ones are allocated for unlisted inputs), matching the
+        contract of :meth:`CircuitEncoder.encode`.
+        """
+        varof = [0] * (self.num_slots + 1)
+        for name in self.input_names:
+            slot = self.net_slot[name]
+            var = input_vars.get(name) if input_vars else None
+            varof[slot] = var if var is not None else solver.new_var()
+        for slot in range(1, self.num_slots + 1):
+            if varof[slot] == 0:
+                varof[slot] = solver.new_var()
+        add_clause = solver.add_clause
+        for clause in self.clauses:
+            add_clause([varof[lit] if lit > 0 else -varof[-lit]
+                        for lit in clause])
+        return {net: varof[slot] for net, slot in self.net_slot.items()}
+
+
+def circuit_digest(circuit: Circuit) -> str:
+    """Cache key of a circuit's encoding: structural keys bound to names.
+
+    Cached in the circuit's derived-data cache (mutations drop it).
+    """
+    cache = circuit.derived_cache()
+    digest = cache.get("cnf_digest")
+    if digest is None:
+        keys = structural_hash(circuit)
+        h = hashlib.blake2b(digest_size=16)
+        for name in circuit.inputs:
+            h.update(f"i{name}\0".encode())
+        for name in topological_order(circuit):
+            h.update(f"g{name}={keys[name]}\0".encode())
+        digest = h.hexdigest()
+        cache["cnf_digest"] = digest
+    return digest
+
+
+class CnfCache:
+    """Digest-keyed store of :class:`CnfTemplate` objects.
+
+    One cache serves a whole run (it hangs off the
+    :class:`~repro.runtime.supervisor.RunSupervisor`), so the cone CNF
+    of the spec — and of the implementation between patch commits — is
+    encoded once and replayed everywhere: the incremental validator,
+    the legacy validation oracle and the pairwise equivalence checks
+    all share it.
+    """
+
+    def __init__(self, counters=None):
+        self._templates: Dict[str, CnfTemplate] = {}
+        #: optional RunCounters receiving ``encode_cache_hits``
+        self.counters = counters
+        self.hits = 0
+        self.misses = 0
+
+    def template(self, circuit: Circuit) -> CnfTemplate:
+        key = circuit_digest(circuit)
+        template = self._templates.get(key)
+        if template is None:
+            template = CnfTemplate(circuit)
+            self._templates[key] = template
+            self.misses += 1
+        else:
+            self.hits += 1
+            if self.counters is not None:
+                self.counters.encode_cache_hits += 1
+        return template
+
+    def encode(self, solver, circuit: Circuit,
+               input_vars: Optional[Mapping[str, int]] = None
+               ) -> Dict[str, int]:
+        """Drop-in for :meth:`CircuitEncoder.encode` through the cache."""
+        return self.template(circuit).instantiate(solver, input_vars)

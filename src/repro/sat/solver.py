@@ -83,7 +83,12 @@ class Solver:
         self._cla_inc = 1.0
         self._cla_decay = 0.999
         self._saved_phase: List[bool] = []
-        self._order: List[int] = []  # lazy heap substitute: sorted on demand
+        # indexed binary max-heap over variable activity (the MiniSAT
+        # order heap): _heap holds vars, _heap_pos maps var -> slot
+        # (-1 when absent).  Stale assigned vars are skipped lazily in
+        # _pick_branch and re-inserted on backtrack.
+        self._heap: List[int] = []
+        self._heap_pos: List[int] = []
         self._ok = True
         self._model: List[int] = []
         self.conflicts = 0
@@ -103,6 +108,10 @@ class Solver:
         self._reason.append(None)
         self._activity.append(0.0)
         self._saved_phase.append(False)
+        var = self._num_vars - 1
+        self._heap_pos.append(len(self._heap))
+        self._heap.append(var)
+        self._heap_up(len(self._heap) - 1)
         self._watches.append([])
         self._watches.append([])
         return self._num_vars
@@ -182,34 +191,46 @@ class Solver:
         return True
 
     def _propagate(self) -> Optional[_Clause]:
-        """Unit propagation; returns a conflicting clause or None."""
-        while self._qhead < len(self._trail):
-            lit = self._trail[self._qhead]
+        """Unit propagation; returns a conflicting clause or None.
+
+        Literal values are computed inline from the assignment array
+        (``assign[var] ^ sign``) instead of through :meth:`_value`:
+        this loop dominates solver runtime and the call overhead is
+        measurable.
+        """
+        assign = self._assign
+        watches = self._watches
+        trail = self._trail
+        while self._qhead < len(trail):
+            lit = trail[self._qhead]
             self._qhead += 1
             self.propagations += 1
-            watchers = self._watches[lit]
-            self._watches[lit] = []
+            watchers = watches[lit]
+            watches[lit] = []
             kept: List[_Clause] = []
             i = 0
             n = len(watchers)
+            false_lit = lit ^ 1
             while i < n:
                 clause = watchers[i]
                 i += 1
                 lits = clause.lits
                 # ensure the false literal is lits[1]
-                false_lit = _lit_neg(lit)
                 if lits[0] == false_lit:
                     lits[0], lits[1] = lits[1], lits[0]
                 first = lits[0]
-                if self._value(first) == 1:
+                fv = assign[first >> 1]
+                if fv != _UNDEF and (fv ^ (first & 1)) == 1:
                     kept.append(clause)
                     continue
-                # search replacement watch
+                # search replacement watch (any non-false literal)
                 found = False
                 for k in range(2, len(lits)):
-                    if self._value(lits[k]) != 0:
+                    other = lits[k]
+                    ov = assign[other >> 1]
+                    if ov == _UNDEF or (ov ^ (other & 1)) == 1:
                         lits[1], lits[k] = lits[k], lits[1]
-                        self._watches[_lit_neg(lits[1])].append(clause)
+                        watches[lits[1] ^ 1].append(clause)
                         found = True
                         break
                 if found:
@@ -240,9 +261,56 @@ class Solver:
             self._saved_phase[var] = self._assign[var] == 1
             self._assign[var] = _UNDEF
             self._reason[var] = None
+            self._heap_insert(var)
         del self._trail[limit:]
         del self._trail_lim[level:]
         self._qhead = len(self._trail)
+
+    # ------------------------------------------------------------------
+    # order heap (vars keyed by activity)
+    # ------------------------------------------------------------------
+    def _heap_up(self, i: int) -> None:
+        heap, pos, act = self._heap, self._heap_pos, self._activity
+        var = heap[i]
+        a = act[var]
+        while i > 0:
+            parent = (i - 1) >> 1
+            pvar = heap[parent]
+            if act[pvar] >= a:
+                break
+            heap[i] = pvar
+            pos[pvar] = i
+            i = parent
+        heap[i] = var
+        pos[var] = i
+
+    def _heap_down(self, i: int) -> None:
+        heap, pos, act = self._heap, self._heap_pos, self._activity
+        n = len(heap)
+        var = heap[i]
+        a = act[var]
+        while True:
+            child = 2 * i + 1
+            if child >= n:
+                break
+            right = child + 1
+            if right < n and act[heap[right]] > act[heap[child]]:
+                child = right
+            cvar = heap[child]
+            if act[cvar] <= a:
+                break
+            heap[i] = cvar
+            pos[cvar] = i
+            i = child
+        heap[i] = var
+        pos[var] = i
+
+    def _heap_insert(self, var: int) -> None:
+        if self._heap_pos[var] != -1:
+            return
+        self._heap_pos[var] = len(self._heap)
+        self._heap.append(var)
+        self._heap_up(len(self._heap) - 1)
 
     # ------------------------------------------------------------------
     # conflict analysis
@@ -250,9 +318,13 @@ class Solver:
     def _bump_var(self, var: int) -> None:
         self._activity[var] += self._var_inc
         if self._activity[var] > 1e100:
+            # uniform rescale preserves the heap order
             for i in range(self._num_vars):
                 self._activity[i] *= 1e-100
             self._var_inc *= 1e-100
+        pos = self._heap_pos[var]
+        if pos != -1:
+            self._heap_up(pos)
 
     def _bump_clause(self, clause: _Clause) -> None:
         clause.activity += self._cla_inc
@@ -389,15 +461,19 @@ class Solver:
     # search
     # ------------------------------------------------------------------
     def _pick_branch(self) -> int:
-        best = -1
-        best_act = -1.0
-        for var in range(self._num_vars):
-            if self._assign[var] == _UNDEF and self._activity[var] > best_act:
-                best = var
-                best_act = self._activity[var]
-        if best == -1:
-            return -1
-        return _mklit(best, not self._saved_phase[best])
+        heap, pos = self._heap, self._heap_pos
+        assign = self._assign
+        while heap:
+            var = heap[0]
+            last = heap.pop()
+            pos[var] = -1
+            if heap:
+                heap[0] = last
+                pos[last] = 0
+                self._heap_down(0)
+            if assign[var] == _UNDEF:
+                return _mklit(var, not self._saved_phase[var])
+        return -1
 
     def _reduce_db(self) -> None:
         """Drop the least active half of learned clauses."""

@@ -102,3 +102,24 @@ class TestNonequivalentOutputs:
     def test_empty_when_equivalent(self):
         c = make_random_circuit(2)
         assert nonequivalent_outputs(c, c.copy()) == []
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_simulation_prepass_is_exact(self, seed):
+        """The sim pre-pass must never change the SAT-only verdict."""
+        import random
+
+        from repro.netlist.circuit import Pin
+        from repro.netlist.traverse import topological_order
+
+        left = make_random_circuit(seed)
+        right = left.copy(name="right")
+        rng = random.Random(seed + 50)
+        names = topological_order(right)
+        k = rng.randrange(len(names))
+        gate = right.gates[names[k]]
+        pool = [n for n in list(right.inputs) + names[:k]
+                if n != gate.fanins[0]]
+        if pool:
+            right.rewire_pin(Pin.gate(names[k], 0), rng.choice(pool))
+        assert (nonequivalent_outputs(left, right)
+                == nonequivalent_outputs(left, right, sim_rounds=0))

@@ -1,0 +1,258 @@
+"""Verdict parity of :class:`IncrementalValidator` with the legacy path.
+
+The incremental assumption-based validator is a pure performance
+device: on every candidate it must return exactly the verdict the
+legacy copy-and-re-encode :func:`validate_rewire` returns — including
+rejections for topological-constraint and acyclicity violations — and
+any patched circuit it materializes must be functionally identical to
+the legacy one.  The property tests below drive both validators with
+the same randomized circuits, pins and rewire ops and compare them
+check by check; the fault-injection tests confirm budgets, escalation
+and strict mode behave identically when the supervised solver runs
+through the incremental miter (the default since
+``EcoConfig.incremental_validate`` landed).
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cec.equivalence import check_equivalence
+from repro.errors import ResourceBudgetExceeded, SatBudgetExceeded
+from repro.netlist.circuit import Circuit, Pin
+from repro.netlist.simulate import evaluate_outputs
+from repro.netlist.traverse import topological_order
+from repro.runtime import (
+    FAULT_EXHAUST,
+    FAULT_UNKNOWN,
+    FaultInjector,
+    RunCounters,
+    SITE_SAT,
+)
+from repro.runtime.supervisor import RunSupervisor
+from repro.eco.config import EcoConfig
+from repro.eco.engine import rectify
+from repro.eco.incremental import IncrementalValidator
+from repro.eco.patch import RewireOp
+from repro.eco.validate import validate_rewire
+from tests.conftest import make_random_circuit
+
+
+def mutate(spec, seed):
+    """An acyclic single-pin corruption of ``spec`` (or None)."""
+    impl = spec.copy(name="impl")
+    rng = random.Random(seed)
+    names = topological_order(impl)
+    k = rng.randrange(len(names))
+    gate = impl.gates[names[k]]
+    idx = rng.randrange(len(gate.fanins))
+    # only upstream nets keep the mutated circuit acyclic
+    pool = [n for n in list(impl.inputs) + names[:k]
+            if n != gate.fanins[idx]]
+    if not pool:
+        return None
+    impl.rewire_pin(Pin.gate(names[k], idx), rng.choice(pool))
+    return impl
+
+
+def failing_outputs(impl, spec):
+    """Exhaustively compared failing ports (inputs are few by design)."""
+    failing = []
+    for bits in itertools.product([False, True], repeat=len(spec.inputs)):
+        assignment = dict(zip(spec.inputs, bits))
+        got = evaluate_outputs(impl, assignment)
+        want = evaluate_outputs(spec, assignment)
+        for port in spec.outputs:
+            if got[port] != want[port] and port not in failing:
+                failing.append(port)
+    return failing
+
+
+def random_pins(impl, rng, count=3):
+    pins = []
+    gate_names = list(impl.gates)
+    for _ in range(count):
+        gname = rng.choice(gate_names)
+        pins.append(Pin.gate(gname, rng.randrange(
+            len(impl.gates[gname].fanins))))
+    return list(dict.fromkeys(pins))
+
+
+def random_ops(impl, spec, pins, rng, count=2):
+    ops = []
+    impl_nets = list(impl.inputs) + list(impl.gates)
+    spec_nets = list(spec.inputs) + list(spec.gates)
+    for _ in range(count):
+        from_spec = bool(rng.getrandbits(1))
+        source = rng.choice(spec_nets if from_spec else impl_nets)
+        ops.append(RewireOp(pin=rng.choice(pins), source_net=source,
+                            from_spec=from_spec))
+    return ops
+
+
+def assert_same_outcome(impl, spec, legacy, incremental):
+    assert incremental.valid == legacy.valid
+    assert incremental.fixed == legacy.fixed
+    assert incremental.unknown == legacy.unknown
+    if legacy.valid:
+        same = check_equivalence(legacy.patched, incremental.patched)
+        assert same.equivalent is True
+
+
+class TestVerdictParity:
+    @given(seed=st.integers(min_value=0, max_value=3000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_candidates_match_legacy(self, seed):
+        spec = make_random_circuit(seed, n_inputs=4, n_gates=15)
+        impl = mutate(spec, seed + 1)
+        if impl is None:
+            return
+        failing = failing_outputs(impl, spec)
+        if not failing:
+            return
+        rng = random.Random(seed + 2)
+        pins = random_pins(impl, rng) + [Pin.output(failing[0])]
+        validator = IncrementalValidator(impl, spec, pins)
+        for trial in range(4):
+            ops = random_ops(impl, spec, pins, rng,
+                             count=rng.randrange(1, 3))
+            assert validator.covers(ops)
+            legacy = validate_rewire(impl, spec, ops, failing, {})
+            incremental = validator.validate(ops, failing, {})
+            assert_same_outcome(impl, spec, legacy, incremental)
+
+    def test_known_fix_accepted_by_both(self):
+        spec = Circuit("spec")
+        a, b, c = spec.add_inputs(["a", "b", "c"])
+        g1 = spec.and_(a, b, name="g1")
+        spec.set_output("o", spec.xor(g1, c, name="g2"))
+        impl = Circuit("impl")
+        a, b, c = impl.add_inputs(["a", "b", "c"])
+        h1 = impl.or_(a, b, name="h1")
+        impl.set_output("o", impl.xor(h1, c, name="h2"))
+        ops = [RewireOp(pin=Pin.gate("h2", 0), source_net="g1",
+                        from_spec=True)]
+        validator = IncrementalValidator(impl, spec,
+                                         [Pin.gate("h2", 0)])
+        legacy = validate_rewire(impl, spec, ops, ["o"], {})
+        incremental = validator.validate(ops, ["o"], {})
+        assert legacy.valid and incremental.valid
+        assert_same_outcome(impl, spec, legacy, incremental)
+        assert check_equivalence(incremental.patched, spec).equivalent \
+            is True
+
+    def test_covers_rejects_unregistered_pins_and_sources(self):
+        spec = make_random_circuit(21, n_inputs=4, n_gates=12)
+        impl = mutate(spec, 22)
+        gname = list(impl.gates)[0]
+        pin = Pin.gate(gname, 0)
+        validator = IncrementalValidator(impl, spec, [pin])
+        other = Pin.gate(list(impl.gates)[1], 0)
+        assert not validator.covers(
+            [RewireOp(pin=other, source_net=impl.inputs[0])])
+        assert not validator.covers(
+            [RewireOp(pin=pin, source_net="no-such-net")])
+        assert not validator.covers(
+            [RewireOp(pin=pin, source_net="no-such-net",
+                      from_spec=True)])
+        assert validator.covers(
+            [RewireOp(pin=pin, source_net=impl.inputs[0])])
+
+    def test_counts_incremental_solves(self):
+        spec = make_random_circuit(0, n_inputs=4, n_gates=12)
+        impl = mutate(spec, 1)
+        failing = failing_outputs(impl, spec)
+        assert failing  # seed chosen so the mutation is visible
+        counters = RunCounters()
+        pin = Pin.output(failing[0])
+        validator = IncrementalValidator(impl, spec, [pin],
+                                         counters=counters)
+        validator.validate(
+            [RewireOp(pin=pin, source_net=spec.outputs[failing[0]],
+                      from_spec=True)],
+            failing, {})
+        assert counters.incremental_solves >= 1
+
+
+class TestSupervisedIncremental:
+    """Budget exhaustion and degradation through the incremental miter.
+
+    ``EcoConfig.incremental_validate`` defaults to on, so these drive
+    the whole engine: fault payloads land inside the persistent
+    incremental solver exactly as they used to land in the per-candidate
+    checkers.
+    """
+
+    def single_bug(self):
+        spec = Circuit("spec")
+        a, b, c = spec.add_inputs(["a", "b", "c"])
+        g1 = spec.and_(a, b, name="g1")
+        spec.set_output("o", spec.xor(g1, c, name="g2"))
+        impl = Circuit("impl")
+        a, b, c = impl.add_inputs(["a", "b", "c"])
+        h1 = impl.or_(a, b, name="h1")
+        impl.set_output("o", impl.xor(h1, c, name="h2"))
+        return impl, spec
+
+    def test_unknown_streak_degrades_but_verifies(self):
+        impl, spec = self.single_bug()
+        injector = FaultInjector().arm(
+            SITE_SAT, range(1, 301), payload=FAULT_UNKNOWN)
+        result = rectify(impl, spec, EcoConfig(num_samples=8),
+                         injector=injector)
+        # an all-UNKNOWN solver forces the degraded fallback path, so
+        # the incremental miter must not be credited with any verdicts
+        assert result.counters.sat_unknowns > 0
+        assert result.counters.fallbacks >= 1
+        assert check_equivalence(result.patched, spec).equivalent is True
+
+    def test_budget_exhaustion_strict_raises(self):
+        impl, spec = self.single_bug()
+        injector = FaultInjector().arm(SITE_SAT, 1, payload=FAULT_EXHAUST)
+        with pytest.raises(SatBudgetExceeded):
+            rectify(impl, spec,
+                    EcoConfig(num_samples=8, degrade_on_budget=False),
+                    injector=injector)
+
+    def test_budget_exhaustion_degrades_gracefully(self):
+        impl, spec = self.single_bug()
+        injector = FaultInjector().arm(SITE_SAT, 1, payload=FAULT_EXHAUST)
+        result = rectify(impl, spec, EcoConfig(num_samples=8),
+                         injector=injector)
+        assert result.degraded is True
+        assert check_equivalence(result.patched, spec).equivalent is True
+
+    def test_supervisor_drives_validator_directly(self):
+        impl, spec = self.single_bug()
+        run = RunSupervisor.from_config(EcoConfig(total_sat_budget=10_000))
+        validator = IncrementalValidator(impl, spec,
+                                         [Pin.gate("h2", 0)],
+                                         counters=run.counters)
+        ops = [RewireOp(pin=Pin.gate("h2", 0), source_net="g1",
+                        from_spec=True)]
+        outcome = validator.validate(ops, ["o"], {}, run=run)
+        assert outcome.valid
+        assert run.counters.sat_conflicts_spent >= 0
+        assert run.counters.incremental_solves >= 1
+
+
+class TestEngineParity:
+    """Whole-engine results with the incremental validator on vs off."""
+
+    @pytest.mark.parametrize("seed", [4, 8])
+    def test_rectify_matches_legacy_validator_path(self, seed):
+        spec = make_random_circuit(seed, n_inputs=4, n_gates=14)
+        impl = mutate(spec, seed + 100)
+        assert impl is not None
+        assert failing_outputs(impl, spec)  # seeds chosen to be visible
+        fast = rectify(impl, spec, EcoConfig(num_samples=16, seed=9))
+        slow = rectify(impl, spec,
+                       EcoConfig(num_samples=16, seed=9,
+                                 incremental_validate=False))
+        assert check_equivalence(fast.patched, spec).equivalent is True
+        assert check_equivalence(slow.patched, spec).equivalent is True
+        assert sorted(fast.per_output) == sorted(slow.per_output)
+        assert fast.counters.incremental_solves > 0
+        assert slow.counters.incremental_solves == 0
