@@ -11,7 +11,8 @@ Run ``python -m repro <command> --help``.  Commands:
 * ``trace``  — summarize a trace file written by ``eco --trace``;
 * ``runs``   — inspect the persistent run store: list, show, diff,
   and regression-check recorded runs (``repro runs regress
-  --baseline REF`` exits nonzero on regression — a CI gate);
+  --baseline REF`` exits nonzero on regression — a CI gate), plus
+  ``recover`` to salvage a crashed store and list resumable runs;
 * ``lint``   — static diagnostics: netlist analyzer, patch-op
   legality, or the repo's own invariants (``--self``);
 * ``tables`` — regenerate the paper's tables on the scaled suite.
@@ -129,10 +130,15 @@ def _cmd_eco(args: argparse.Namespace) -> int:
     from repro.cec import check_equivalence
     from repro.eco import EcoConfig, SysEco
     from repro.baselines import ConeMap, DeltaSyn
+    from repro.errors import JournalError
     from repro.netlist import write_verilog
 
     impl = _load_netlist(args.impl)
     spec = _load_netlist(args.spec)
+
+    if args.resume and args.engine != "syseco":
+        raise JournalError(
+            "--resume is only supported by the syseco engine")
 
     if args.engine == "syseco":
         engine = SysEco(EcoConfig(
@@ -147,9 +153,31 @@ def _cmd_eco(args: argparse.Namespace) -> int:
             total_sat_budget=args.total_sat_budget,
             total_bdd_nodes=args.total_bdd_nodes,
             degrade_on_budget=args.degrade_on_budget,
+            resume_from=args.resume,
         ))
     else:
         engine = DeltaSyn() if args.engine == "deltasyn" else ConeMap()
+
+    # journal every recorded syseco run: the checkpoint WAL is what
+    # makes a killed or interrupted run resumable (--resume RUN_ID)
+    journal = None
+    run_id = None
+    if args.engine == "syseco" and (args.resume or args.store_runs):
+        from repro.eco.checkpoint import RunJournal, resolve_store_root
+        from repro.obs.store import new_run_id
+        from repro.runtime.clock import now as _clock_now
+        store_root = resolve_store_root(args.store)
+        if args.resume:
+            journal = RunJournal(args.resume, store_root=store_root,
+                                 resume=True)
+            if not journal.resuming:
+                raise JournalError(
+                    f"no resumable journal for run {args.resume!r} "
+                    f"(store: {store_root}); see 'repro runs recover'")
+            run_id = args.resume
+        else:
+            run_id = new_run_id(_clock_now())
+            journal = RunJournal(run_id, store_root=store_root)
 
     want_export = bool(args.trace or args.metrics)
     trace = None
@@ -163,12 +191,21 @@ def _cmd_eco(args: argparse.Namespace) -> int:
         from repro.obs import Trace
         trace = Trace(name=impl.name)
 
+    from repro.runtime.clock import now as _now
     from repro.runtime.profile import profiled
-    with profiled(args.profile):
-        if trace is not None:
-            result = engine.rectify(impl, spec, trace=trace)
-        else:
-            result = engine.rectify(impl, spec)
+    started_s = _now()
+    try:
+        with profiled(args.profile):
+            if trace is not None or journal is not None:
+                result = engine.rectify(impl, spec, trace=trace,
+                                        journal=journal)
+            else:
+                result = engine.rectify(impl, spec)
+    except KeyboardInterrupt:
+        print("\ninterrupted (SIGINT)", file=sys.stderr)
+        if args.store_runs and run_id is not None:
+            _publish_interrupted(args, impl, run_id, started_s)
+        return 130
     if args.profile:
         print(f"wrote {args.profile} (cProfile stats)")
     from repro.eco.report import format_patch_report
@@ -178,7 +215,8 @@ def _cmd_eco(args: argparse.Namespace) -> int:
     verdict = check_equivalence(result.patched, spec)
     print(f"verified: {verdict.equivalent}")
     if args.store_runs:
-        _publish_run(args, engine, impl, result, verdict, trace)
+        _publish_run(args, engine, impl, result, verdict, trace,
+                     run_id=run_id)
     if trace is not None:
         _export_trace(args, trace)
     if args.counters_json:
@@ -201,7 +239,7 @@ def _cmd_eco(args: argparse.Namespace) -> int:
 
 
 def _publish_run(args: argparse.Namespace, engine, impl, result,
-                 verdict, trace) -> None:
+                 verdict, trace, run_id=None) -> None:
     """Record the run in the persistent store (``repro runs ...``)."""
     from repro.obs import RunStore, record_from_result
 
@@ -209,16 +247,51 @@ def _publish_run(args: argparse.Namespace, engine, impl, result,
         outcome = "failed"
     else:
         outcome = "degraded" if result.degraded else "ok"
+    tags = {"engine": args.engine}
+    if getattr(args, "resume", None):
+        # a resumed completion gets a fresh record id (the interrupted
+        # record may already carry the journal's) but stays linked to
+        # the journal it replayed
+        tags.update(resumed=True, journal=args.resume)
+        run_id = None
     record = record_from_result(
         result, trace=trace, kind="eco", name=impl.name,
         config=getattr(engine, "config", None), outcome=outcome,
-        tags={"engine": args.engine})
+        tags=tags, run_id=run_id)
     try:
         store = RunStore(args.store)
         store.publish(record)
         print(f"recorded run {record.run_id} (store: {store.root})")
     except OSError as exc:
         print(f"warning: could not record run: {exc}", file=sys.stderr)
+
+
+def _publish_interrupted(args: argparse.Namespace, impl, run_id: str,
+                         started_s: float) -> None:
+    """Persist an ``interrupted`` record so the run shows up in
+    ``repro runs list`` / ``recover`` and can be resumed."""
+    from repro.obs import RunStore
+    from repro.obs.store import RunRecord, current_git_sha
+    from repro.runtime.clock import now
+
+    record = RunRecord(
+        run_id=run_id, kind="eco", name=impl.name,
+        started_at=round(started_s, 3),
+        wall_seconds=round(now() - started_s, 6),
+        outcome="interrupted",
+        git_sha=current_git_sha(),
+        tags={"engine": args.engine, "resumable": True},
+    )
+    try:
+        store = RunStore(args.store)
+        store.publish(record)
+        print(f"recorded interrupted run {run_id} (store: {store.root})",
+              file=sys.stderr)
+    except OSError as exc:
+        print(f"warning: could not record interrupted run: {exc}",
+              file=sys.stderr)
+    print(f"resume with: repro eco --resume {run_id} "
+          f"--impl {args.impl} --spec {args.spec}", file=sys.stderr)
 
 
 def _export_trace(args: argparse.Namespace, trace) -> None:
@@ -421,6 +494,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-store", dest="store_runs",
                    action="store_false", default=True,
                    help="do not record this run in the run store")
+    p.add_argument("--resume", metavar="RUN_ID", default=None,
+                   help="resume a killed or interrupted run from its "
+                        "checkpoint journal: committed patches are "
+                        "replayed and the search continues with the "
+                        "remaining outputs ('repro runs recover' lists "
+                        "resumable runs)")
     p.set_defaults(func=_cmd_eco)
 
     p = sub.add_parser(
@@ -446,7 +525,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "runs",
         help="inspect the persistent run store: list, show, diff, "
-             "regression-check")
+             "regression-check, recover")
     from repro.obs.runs_cli import add_runs_arguments, run_runs
     add_runs_arguments(p)
     p.set_defaults(func=run_runs)
@@ -490,6 +569,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 3
+    except KeyboardInterrupt:
+        # commands with resumable state handle SIGINT themselves; this
+        # is the generic fallback with the conventional 128+SIGINT code
+        print("\ninterrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

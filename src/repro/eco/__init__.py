@@ -20,6 +20,7 @@ from repro.eco.patch import Patch, PatchStats, RewireOp, RectificationResult
 from repro.eco.sampling import SamplingDomain
 from repro.eco.samples import collect_error_samples
 from repro.eco.engine import SysEco, rectify
+from repro.eco.checkpoint import RunJournal, list_resumable
 from repro.eco.analysis import diagnose, format_diagnosis
 from repro.eco.report import format_patch_report
 
@@ -33,6 +34,8 @@ __all__ = [
     "collect_error_samples",
     "SysEco",
     "rectify",
+    "RunJournal",
+    "list_resumable",
     "diagnose",
     "format_diagnosis",
     "format_patch_report",

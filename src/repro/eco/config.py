@@ -110,6 +110,17 @@ class EcoConfig:
             ``degraded=True`` result; ``False`` = strict mode, raise
             :class:`~repro.errors.ResourceBudgetExceeded` instead.
 
+    Fault tolerance (see docs/robustness.md):
+
+        resume_from: run id of a dead journaled run to resume; its
+            checkpoint journal is replayed before the search continues
+            (``repro eco --resume``; ``None`` = fresh run).
+        worker_retries: times a parallel partition whose worker died is
+            re-dispatched before its outputs are quarantined; ``0``
+            quarantines on the first death.
+        retry_backoff_s: base of the exponential backoff slept before a
+            partition retry (doubled per retry, jittered).
+
     Telemetry sampling (active only when the run is traced; see
     :mod:`repro.obs.sampler`):
 
@@ -155,6 +166,9 @@ class EcoConfig:
     sat_escalation_attempts: int = 3
     sat_deescalate_after: int = 3
     degrade_on_budget: bool = True
+    resume_from: Optional[str] = None
+    worker_retries: int = 1
+    retry_backoff_s: float = 0.25
     sample_interval_s: float = 0.05
     stall_window_s: float = 30.0
     trace_malloc: bool = False
@@ -181,6 +195,10 @@ class EcoConfig:
                 raise ValueError(f"{name} must be positive when set")
         if self.sat_escalation_factor <= 1.0:
             raise ValueError("sat_escalation_factor must exceed 1")
+        if self.worker_retries < 0:
+            raise ValueError("worker_retries must be >= 0")
+        if self.retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be >= 0")
         if self.sample_interval_s < 0:
             raise ValueError("sample_interval_s must be >= 0")
         if self.stall_window_s <= 0:

@@ -37,7 +37,9 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.errors import (
     BddNodeLimitError,
     EcoError,
+    JournalError,
     PatchStructureError,
+    ReproError,
     ResourceBudgetExceeded,
 )
 from repro.bdd.manager import BddManager
@@ -94,7 +96,8 @@ class SysEco:
     # ------------------------------------------------------------------
     def rectify(self, impl: Circuit, spec: Circuit,
                 injector: Optional[FaultInjector] = None,
-                trace: Optional[Trace] = None) -> RectificationResult:
+                trace: Optional[Trace] = None,
+                journal=None) -> RectificationResult:
         """Rectify ``impl`` to match ``spec``; returns the result record.
 
         Both circuits must share primary-input and output-port names.
@@ -109,7 +112,11 @@ class SysEco:
         ``injector`` arms deterministic faults at the supervised call
         sites (tests of the degradation paths use this).  ``trace``
         receives the run's phase spans (see :mod:`repro.obs`); the
-        finished trace is attached to the result.
+        finished trace is attached to the result.  ``journal`` (a
+        :class:`~repro.eco.checkpoint.RunJournal`) makes the run
+        durable: every commit is journaled write-ahead, and a journal
+        opened for resume replays a dead run's commits before the
+        search continues — see :mod:`repro.eco.checkpoint`.
         """
         started = now()
         trace = ensure_trace(trace)
@@ -130,15 +137,23 @@ class SysEco:
                 sampler.start()
             with trace.span("eco.rectify", impl=impl.name,
                             outputs=len(impl.outputs)):
-                result = self._rectify_run(impl, spec, rng, run, started)
+                result = self._rectify_run(impl, spec, rng, run, started,
+                                           journal=journal)
         finally:
             if sampler is not None:
-                sampler.stop()
+                # the sampler thread must never outlive the run, even
+                # when teardown's final sample raises (e.g. a broken
+                # trace exporter) while the run itself is unwinding a
+                # failure — log and keep the original exception
+                try:
+                    sampler.stop()
+                except Exception:
+                    logger.exception("telemetry sampler teardown failed")
         trace.meta.update(
             impl=impl.name,
             counters=run.counters.as_dict(),
-            degraded=run.degraded,
-            degrade_reason=run.degrade_reason,
+            degraded=result.degraded,
+            degrade_reason=result.degrade_reason,
             wall_seconds=result.runtime_seconds,
             # the budget clock observes injected clock faults, so the
             # supervised elapsed time is the one regression checks trust
@@ -150,7 +165,7 @@ class SysEco:
 
     def _rectify_run(self, impl: Circuit, spec: Circuit,
                      rng: random.Random, run: RunSupervisor,
-                     started: float) -> RectificationResult:
+                     started: float, journal=None) -> RectificationResult:
         config = self.config
         trace = run.trace
         work = impl.copy()
@@ -164,6 +179,19 @@ class SysEco:
         logger.info("rectifying %s: %d of %d outputs non-equivalent",
                     impl.name, len(failing), len(impl.outputs))
 
+        if journal is not None:
+            journal.bind(run.injector)
+            if journal.resuming:
+                journal.check_resumable(impl.name, config, failing)
+                with trace.span("eco.resume",
+                                commits=len(journal.commits)) as rsp:
+                    work, failing = self._replay_journal(
+                        work, spec, failing, patch, per_output, rng,
+                        run, journal)
+                    rsp.tag(remaining=len(failing))
+            else:
+                journal.start(impl.name, config, failing)
+
         if config.jobs > 1 and len(failing) > 1:
             from repro.eco.parallel import parallel_repair
             with trace.span("eco.parallel", jobs=config.jobs,
@@ -171,7 +199,7 @@ class SysEco:
                 try:
                     work, failing = parallel_repair(
                         self, work, spec, failing, patch, per_output,
-                        run)
+                        run, journal=journal, rng=rng)
                 except ResourceBudgetExceeded as exc:
                     if not config.degrade_on_budget:
                         raise
@@ -180,7 +208,8 @@ class SysEco:
             failing = self._order_by_cone(work, failing)
 
         work, failing = self._repair_outputs(work, spec, failing, patch,
-                                             per_output, rng, run)
+                                             per_output, rng, run,
+                                             journal=journal)
 
         with trace.span("eco.refine"):
             refine_patch_inputs(work, patch.cloned_gates,
@@ -206,6 +235,15 @@ class SysEco:
                 "final verification failed; counterexample: "
                 f"{verification.counterexample}")
         logger.info("run summary: %s", run.summary())
+        # a quarantined output forced a fallback for infrastructure
+        # reasons; the result is degraded even when no budget blew
+        degraded = run.degraded or bool(run.quarantined)
+        degrade_reason = run.degrade_reason
+        if degrade_reason is None and run.quarantined:
+            degrade_reason = "quarantined: " + ", ".join(
+                sorted(run.quarantined))
+        if journal is not None:
+            journal.finish("degraded" if degraded else "ok")
         return RectificationResult(
             patched=work,
             patch=patch,
@@ -213,9 +251,86 @@ class SysEco:
             runtime_seconds=now() - started,
             per_output=per_output,
             counters=run.counters,
-            degraded=run.degraded,
-            degrade_reason=run.degrade_reason,
+            degraded=degraded,
+            degrade_reason=degrade_reason,
         )
+
+    # ------------------------------------------------------------------
+    def _replay_journal(self, work: Circuit, spec: Circuit,
+                        failing: List[str], patch: Patch,
+                        per_output: Dict[str, str], rng: random.Random,
+                        run: RunSupervisor, journal
+                        ) -> Tuple[Circuit, List[str]]:
+        """Re-prove and re-apply a dead run's journaled commits.
+
+        A journal is never trusted blindly: each commit's op set is
+        re-validated under the supervised validator before it is
+        applied (a commit that no longer validates means the inputs
+        changed — :class:`JournalError`).  After the last commit the
+        engine RNG is restored to the journaled stream position and the
+        journaled cumulative budget spend is topped up, so the
+        continued search is bit-identical to the uninterrupted run.
+        """
+        config = self.config
+        replayed = 0
+        last = None
+        for commit in journal.commits:
+            try:
+                outcome = validate_rewire(
+                    work, spec, commit.ops, failing, patch.clone_map,
+                    sat_budget=config.sat_budget, target=commit.port,
+                    run=run)
+            except ResourceBudgetExceeded as exc:
+                if not config.degrade_on_budget:
+                    raise
+                run.mark_degraded(str(exc))
+                # the commit was proven once already; finish the replay
+                # unsupervised rather than tear the patch in half
+                outcome = validate_rewire(
+                    work, spec, commit.ops, failing, patch.clone_map,
+                    sat_budget=None, target=commit.port)
+            except ReproError as exc:
+                # an op that no longer even applies (missing gate or
+                # pin) means the designs on disk are not the ones the
+                # journal was recorded against
+                raise JournalError(
+                    f"journaled commit #{commit.seq} for output "
+                    f"{commit.port!r} no longer applies to these "
+                    f"designs ({exc}); the input netlists changed"
+                ) from exc
+            if not outcome.valid or commit.port not in outcome.fixed:
+                raise JournalError(
+                    f"journaled commit #{commit.seq} for output "
+                    f"{commit.port!r} failed re-validation; the "
+                    "journal does not match the input designs")
+            work = outcome.patched
+            assert_patch_structure(work, commit.ops)
+            patch.record(commit.ops, outcome.clone_map,
+                         outcome.new_gates)
+            for fixed_port in outcome.fixed:
+                per_output[fixed_port] = (
+                    commit.how if fixed_port == commit.port
+                    else "fixed-by-earlier")
+            fixed = set(outcome.fixed)
+            failing = [p for p in failing if p not in fixed]
+            run.counters.replayed_commits += 1
+            replayed += 1
+            last = commit
+        if last is not None:
+            if last.rng_state is not None:
+                from repro.eco.checkpoint import decode_rng_state
+                rng.setstate(decode_rng_state(last.rng_state))
+            # continue with the dead run's *remaining* budget: top the
+            # journaled cumulative spend up over what replay charged
+            run.budget.charge_sat(
+                max(0, last.sat_spent - run.budget.sat_spent))
+            run.budget.charge_bdd(
+                max(0, last.bdd_spent - run.budget.bdd_spent))
+        run.trace.event("eco.resumed", replayed=replayed,
+                        remaining=len(failing))
+        logger.info("resumed run: %d commit(s) replayed, %d output(s) "
+                    "remaining", replayed, len(failing))
+        return work, failing
 
     # ------------------------------------------------------------------
     def _repair_outputs(self, work: Circuit, spec: Circuit,
@@ -223,7 +338,8 @@ class SysEco:
                         per_output: Dict[str, str], rng: random.Random,
                         run: RunSupervisor,
                         targets: Optional[Set[str]] = None,
-                        commit_log: Optional[List] = None
+                        commit_log: Optional[List] = None,
+                        journal=None
                         ) -> Tuple[Circuit, List[str]]:
         """Drive the per-output repair loop to completion.
 
@@ -249,7 +365,8 @@ class SysEco:
             with trace.span("eco.output", output=port) as osp:
                 outcome = None
                 how = "rewire"
-                if not run.degraded:
+                quarantined = port in run.quarantined
+                if not run.degraded and not quarantined:
                     try:
                         run.checkpoint()
                         if config.joint_outputs > 1 and len(failing) > 1:
@@ -281,14 +398,14 @@ class SysEco:
                             "fallback", port)
                         outcome = None
                 if outcome is None:
-                    how = ("fallback-degraded" if run.degraded
-                           else "fallback")
+                    forced = run.degraded or quarantined
+                    how = "fallback-degraded" if forced else "fallback"
                     with trace.span("eco.fallback", output=port,
-                                    degraded=run.degraded):
+                                    degraded=forced):
                         outcome = self._fallback(work, spec, port,
                                                  failing, patch)
                     run.counters.fallbacks += 1
-                    if run.degraded:
+                    if forced:
                         run.counters.degraded_outputs += 1
                 logger.info(
                     "output %s: %s with %d op(s), %d cloned gate(s), "
@@ -297,6 +414,16 @@ class SysEco:
                 logger.debug("ops: %s",
                              "; ".join(op.describe()
                                        for op in outcome.committed_ops))
+                if journal is not None:
+                    # write-ahead: the journal record lands before the
+                    # in-memory commit, so a crash at any point either
+                    # replays this commit or re-finds it — never loses
+                    # it half-applied
+                    journal.record_commit(
+                        port, how, outcome.committed_ops, outcome.fixed,
+                        rng_state=rng.getstate(),
+                        sat_spent=run.budget.sat_spent,
+                        bdd_spent=run.budget.bdd_spent)
                 work = outcome.patched
                 # post-commit structural assertion: the lint screen
                 # should make this unreachable
@@ -922,8 +1049,8 @@ class _Commit:
 def rectify(impl: Circuit, spec: Circuit,
             config: Optional[EcoConfig] = None,
             injector: Optional[FaultInjector] = None,
-            trace: Optional[Trace] = None
-            ) -> RectificationResult:
+            trace: Optional[Trace] = None,
+            journal=None) -> RectificationResult:
     """Convenience one-shot: ``SysEco(config).rectify(impl, spec)``."""
     return SysEco(config).rectify(impl, spec, injector=injector,
-                                  trace=trace)
+                                  trace=trace, journal=journal)

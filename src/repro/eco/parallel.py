@@ -24,9 +24,22 @@ never trusted across process boundaries.  Commits that fail replay are
 dropped; their outputs simply stay failing and the sequential loop
 that follows the parallel phase repairs them with the reserve budget.
 
+The pool is *supervised*: each partition runs in its own single-worker
+executor so a dying process is attributable to exactly one partition.
+A death (broken pool, nonzero exit, missed heartbeat deadline derived
+from the run budget) is recorded as a ``worker.died`` event and the
+partition is re-dispatched after an exponential backoff
+(:class:`~repro.runtime.retry.RetryPolicy`, ``task.retried``); a
+partition that kills its worker more times than the policy allows is
+*quarantined* — its outputs skip the search and complete via the
+fallback, and the run is reported degraded (``output.quarantined``).
+The :data:`~repro.runtime.faultinject.SITE_WORKER` fault site is
+observed in the main process at every dispatch, so the chaos harness
+can kill any Nth task deterministically.
+
 ``REPRO_ECO_JOBS_INLINE=1`` forces workers to run in-process (same
-code path minus the pool), which keeps multi-worker merge behavior
-deterministic for tests.
+code path minus the pool, including injected deaths and retries),
+which keeps multi-worker merge behavior deterministic for tests.
 """
 
 from __future__ import annotations
@@ -37,12 +50,21 @@ import pickle
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ResourceBudgetExceeded
+from repro.errors import ResourceBudgetExceeded, WorkerDiedError
 from repro.netlist.circuit import Circuit
 from repro.obs.trace import Trace
+from repro.runtime.faultinject import FAULT_KILL, SITE_WORKER
+from repro.runtime.retry import RetryPolicy
 from repro.runtime.supervisor import RunSupervisor
 
 logger = logging.getLogger("repro.eco")
+
+#: seconds past the run deadline before a silent worker is declared dead
+HEARTBEAT_GRACE_S = 5.0
+
+
+class _PoolUnavailable(Exception):
+    """Process pools cannot run here; fall back to sequential search."""
 
 
 @dataclass
@@ -71,7 +93,16 @@ def _run_worker(payload) -> WorkerResult:
     from repro.eco.engine import SysEco
     from repro.eco.patch import Patch
 
-    work, spec, config, failing, targets = payload
+    work, spec, config, failing, targets = payload[:5]
+    if len(payload) > 5 and payload[5]:
+        # the dispatcher observed an armed SITE_WORKER fault for this
+        # task: die the way a real crashed worker would.  Inline mode
+        # has no process to kill, so it raises the unified death signal
+        # the supervisor maps real deaths onto.
+        if os.environ.get("REPRO_ECO_JOBS_INLINE") == "1":
+            raise WorkerDiedError(
+                f"fault injection: worker for {','.join(targets)} killed")
+        os._exit(3)
     engine = SysEco(config)
     trace = Trace(name=f"worker:{','.join(targets)}")
     run = RunSupervisor.from_config(config, trace=trace)
@@ -133,6 +164,131 @@ def _ops_applicable(work: Circuit, spec: Circuit, ops) -> bool:
     return True
 
 
+def _heartbeat_timeout(run: RunSupervisor) -> Optional[float]:
+    """Per-task deadline for a worker's result, from the run budget.
+
+    A worker that has not answered by the run deadline plus a small
+    grace is presumed dead (hung child, lost pipe); ``None`` when the
+    run has no deadline — the pool then waits, like the engine would.
+    """
+    left = run.budget.time_left()
+    if left is None:
+        return None
+    return max(0.0, left) + HEARTBEAT_GRACE_S
+
+
+def _dispatch_pool(payloads: List[tuple], pending: List[int],
+                   marked: Dict[int, bool], run: RunSupervisor,
+                   ) -> Tuple[Dict[int, WorkerResult], Dict[int, str]]:
+    """Run one round of partitions in real processes.
+
+    One single-worker executor per partition, so one worker's death
+    breaks only its own future — innocent partitions keep their
+    results.  Returns ``(outcomes, deaths)`` keyed by partition index;
+    a partition appears in exactly one of the two.
+    """
+    import concurrent.futures as cf
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    outcomes: Dict[int, WorkerResult] = {}
+    deaths: Dict[int, str] = {}
+    executors: Dict[int, ProcessPoolExecutor] = {}
+    futures: Dict[int, cf.Future] = {}
+    try:
+        try:
+            for i in pending:
+                executors[i] = ProcessPoolExecutor(max_workers=1)
+                futures[i] = executors[i].submit(
+                    _run_worker, payloads[i] + (marked[i],))
+        except (OSError, ImportError) as exc:
+            raise _PoolUnavailable(str(exc)) from exc
+        for i in pending:
+            try:
+                outcomes[i] = futures[i].result(
+                    timeout=_heartbeat_timeout(run))
+            except BrokenProcessPool as exc:
+                deaths[i] = f"worker process died: {exc or 'broken pool'}"
+            except WorkerDiedError as exc:
+                deaths[i] = str(exc)
+            except cf.TimeoutError:
+                futures[i].cancel()
+                deaths[i] = "heartbeat deadline missed"
+            except pickle.PicklingError as exc:
+                raise _PoolUnavailable(str(exc)) from exc
+            except OSError as exc:
+                deaths[i] = f"worker I/O failure: {exc}"
+    finally:
+        for ex in executors.values():
+            ex.shutdown(wait=False, cancel_futures=True)
+    return outcomes, deaths
+
+
+def _run_partitions(payloads: List[tuple], run: RunSupervisor,
+                    policy: RetryPolicy, inline: bool,
+                    ) -> List[Optional[WorkerResult]]:
+    """Supervised execution of every partition, with retry/quarantine.
+
+    Returns one :class:`WorkerResult` per payload, or ``None`` at the
+    indices whose partition was quarantined.  Raises
+    :class:`_PoolUnavailable` when process pools cannot run at all.
+    """
+    n = len(payloads)
+    results: List[Optional[WorkerResult]] = [None] * n
+    failures = [0] * n
+    pending = list(range(n))
+    while pending:
+        # observe the fault site at dispatch time, in the main process
+        # (the injector's counters cannot cross a process boundary);
+        # the verdict rides into the worker payload
+        marked: Dict[int, bool] = {}
+        for i in pending:
+            fault = run.injector.observe(SITE_WORKER)
+            marked[i] = fault is not None and fault.payload == FAULT_KILL
+        deaths: Dict[int, str] = {}
+        if inline:
+            outcomes: Dict[int, WorkerResult] = {}
+            for i in pending:
+                try:
+                    outcomes[i] = _run_worker(payloads[i] + (marked[i],))
+                except WorkerDiedError as exc:
+                    deaths[i] = str(exc)
+        else:
+            outcomes, deaths = _dispatch_pool(payloads, pending,
+                                              marked, run)
+        retry: List[int] = []
+        for i in pending:
+            if i not in deaths:
+                results[i] = outcomes[i]
+                continue
+            failures[i] += 1
+            targets = payloads[i][4]
+            run.counters.worker_deaths += 1
+            run.trace.event("worker.died", targets=",".join(targets),
+                            deaths=failures[i], cause=deaths[i])
+            logger.warning("worker for %s died (%d): %s",
+                           ",".join(targets), failures[i], deaths[i])
+            reason = None
+            if policy.allows(failures[i]):
+                delay = policy.sleep_within_budget(failures[i],
+                                                   run.budget)
+                if delay is not None:
+                    run.counters.tasks_retried += 1
+                    run.trace.event("task.retried",
+                                    targets=",".join(targets),
+                                    attempt=failures[i],
+                                    backoff_s=round(delay, 3))
+                    retry.append(i)
+                    continue
+                reason = "retry refused: backoff would eat the deadline"
+            else:
+                reason = f"worker died {failures[i]} times"
+            for port in targets:
+                run.quarantine(port, reason)
+        pending = retry
+    return results
+
+
 def _verify_worker(payload):
     """Prove one output group of the final verification miter."""
     from repro.cec.equivalence import check_equivalence
@@ -181,43 +337,46 @@ def parallel_verify(work: Circuit, spec: Circuit, jobs: int):
 
 def parallel_repair(engine, work: Circuit, spec: Circuit,
                     failing: List[str], patch, per_output: Dict[str, str],
-                    run: RunSupervisor) -> Tuple[Circuit, List[str]]:
-    """Fan the failing outputs across workers and merge the results.
+                    run: RunSupervisor, journal=None, rng=None,
+                    ) -> Tuple[Circuit, List[str]]:
+    """Fan the failing outputs across supervised workers and merge.
 
     Returns the replayed work circuit and the outputs still failing
-    (replay conflicts and worker misses fall through to the caller's
-    sequential loop).  Raises :class:`ResourceBudgetExceeded` when a
-    worker aborted in strict mode, after absorbing all telemetry.
+    (replay conflicts, worker misses and quarantined partitions fall
+    through to the caller's sequential loop).  Raises
+    :class:`ResourceBudgetExceeded` when a worker aborted in strict
+    mode, after absorbing all telemetry.  Commits that survive replay
+    are journaled when a checkpoint ``journal`` is given.
     """
     from repro.eco.validate import assert_patch_structure, validate_rewire
 
     config = engine.config
     jobs = min(config.jobs, len(failing))
     groups = partition_targets(failing, jobs)
-    share = run.partition_budget(len(groups))
-    worker_config = replace(
-        config, jobs=1,
-        deadline_s=share["deadline_s"],
-        total_sat_budget=share["total_sat_budget"],
-        total_bdd_nodes=share["total_bdd_nodes"])
-    payloads = [(work, spec, worker_config, list(failing), group)
-                for group in groups]
+    shares, _reserve = run.partition_shares(len(groups))
+    payloads = []
+    for group, share in zip(groups, shares):
+        worker_config = replace(
+            config, jobs=1, resume_from=None,
+            deadline_s=share["deadline_s"],
+            total_sat_budget=share["total_sat_budget"],
+            total_bdd_nodes=share["total_bdd_nodes"])
+        payloads.append((work, spec, worker_config, list(failing), group))
+    policy = RetryPolicy(max_retries=config.worker_retries,
+                         base_delay_s=config.retry_backoff_s,
+                         seed=config.seed)
 
     inline = os.environ.get("REPRO_ECO_JOBS_INLINE") == "1"
-    if inline:
-        results = [_run_worker(p) for p in payloads]
-    else:
-        try:
-            from concurrent.futures import ProcessPoolExecutor
-            with ProcessPoolExecutor(max_workers=len(groups)) as pool:
-                results = list(pool.map(_run_worker, payloads))
-        except (OSError, pickle.PicklingError, ImportError) as exc:
-            # no process pool available (restricted environments):
-            # leave everything to the caller's sequential loop
-            logger.warning("parallel search unavailable (%s); "
-                           "falling back to sequential", exc)
-            run.trace.event("eco.parallel_fallback", reason=str(exc))
-            return work, failing
+    try:
+        supervised = _run_partitions(payloads, run, policy, inline)
+    except _PoolUnavailable as exc:
+        # no process pool available (restricted environments):
+        # leave everything to the caller's sequential loop
+        logger.warning("parallel search unavailable (%s); "
+                       "falling back to sequential", exc)
+        run.trace.event("eco.parallel_fallback", reason=str(exc))
+        return work, failing
+    results = [r for r in supervised if r is not None]
 
     strict_error: Optional[str] = None
     for result in results:
@@ -250,6 +409,12 @@ def parallel_repair(engine, work: Circuit, spec: Circuit,
                 run.trace.event("eco.replay_reject", output=port,
                                 ops=len(ops))
                 continue
+            if journal is not None:
+                journal.record_commit(
+                    port, how, ops, outcome.fixed,
+                    rng_state=rng.getstate() if rng is not None else None,
+                    sat_spent=run.budget.sat_spent,
+                    bdd_spent=run.budget.bdd_spent)
             new_work = outcome.patched
             assert_patch_structure(new_work, ops)
             work = new_work

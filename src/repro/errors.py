@@ -18,6 +18,8 @@ clause::
     │   ├── BddNodeLimitError      (via multiple inheritance)
     │   ├── SatBudgetExceeded
     │   └── DeadlineExceeded
+    ├── WorkerDiedError
+    ├── JournalError
     └── EcoError
         ├── RectificationInfeasible
         └── PatchStructureError
@@ -83,6 +85,27 @@ class SatBudgetExceeded(ResourceBudgetExceeded):
 
 class DeadlineExceeded(ResourceBudgetExceeded):
     """The run's wall-clock deadline passed."""
+
+
+class WorkerDiedError(ReproError):
+    """A supervised pool worker died before returning its result.
+
+    Raised internally by the supervised worker pool
+    (:mod:`repro.eco.parallel`) to unify the three ways a worker can
+    vanish — a broken process pool, a nonzero exit, a missed heartbeat
+    deadline — plus the inline-mode simulation used by the chaos
+    harness.  The pool catches it and retries or quarantines; it never
+    escapes ``parallel_repair``.
+    """
+
+
+class JournalError(ReproError):
+    """A checkpoint journal cannot be used for resumption.
+
+    Raised by :mod:`repro.eco.checkpoint` when a journal's header does
+    not match the run being resumed (different design or configuration
+    digest) or a journaled commit fails validation on replay.
+    """
 
 
 class EcoError(ReproError):

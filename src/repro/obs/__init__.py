@@ -26,7 +26,11 @@ from repro.obs.trace import (
     Trace,
     ensure_trace,
 )
-from repro.obs.atomicio import atomic_write_text
+from repro.obs.atomicio import (
+    atomic_write_text,
+    detect_torn_tail,
+    salvage_jsonl,
+)
 from repro.obs.export import (
     chrome_payload,
     prometheus_text,
@@ -66,6 +70,8 @@ __all__ = [
     "Trace",
     "ensure_trace",
     "atomic_write_text",
+    "detect_torn_tail",
+    "salvage_jsonl",
     "chrome_payload",
     "prometheus_text",
     "read_trace",

@@ -87,6 +87,49 @@ def read_jsonl(path: str) -> Tuple[List[Dict[str, Any]], int]:
     return records, skipped
 
 
+def detect_torn_tail(path: str) -> Optional[str]:
+    """The torn trailing fragment of a JSONL file, or ``None``.
+
+    A writer killed mid-append (a legacy non-atomic writer, or a
+    kernel dying between ``write`` and ``fsync``) leaves a partial
+    final record: the last non-empty line fails to parse as JSON.
+    Returns that fragment verbatim so recovery can report it; mid-file
+    garbage is *not* a torn tail (it is skipped by :func:`read_jsonl`
+    like any other corrupt line).
+    """
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    lines = [ln for ln in text.split("\n") if ln.strip()]
+    if not lines:
+        return None
+    tail = lines[-1]
+    try:
+        json.loads(tail)
+    except json.JSONDecodeError:
+        return tail
+    return None
+
+
+def salvage_jsonl(path: str) -> Optional[str]:
+    """Drop a torn trailing fragment from a JSONL file, in place.
+
+    Everything before the torn write survives: the file is rewritten
+    atomically without the fragment (and with a normalized trailing
+    newline).  Returns the dropped fragment, or ``None`` when the file
+    needed no salvage.
+    """
+    fragment = detect_torn_tail(path)
+    if fragment is None:
+        return None
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    kept = [ln for ln in text.split("\n") if ln.strip()][:-1]
+    atomic_write_text(path, "".join(ln + "\n" for ln in kept))
+    return fragment
+
+
 def iter_temp_leftovers(directory: str) -> Iterator[str]:
     """Orphaned ``.tmp-*`` files a crashed writer may have left behind."""
     if not os.path.isdir(directory):

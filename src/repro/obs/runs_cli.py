@@ -1,6 +1,6 @@
 """The ``repro runs`` subcommand: inspect the persistent run store.
 
-Four verbs over :class:`~repro.obs.store.RunStore`:
+Five verbs over :class:`~repro.obs.store.RunStore`:
 
 * ``list``    — one line per recorded run (id, kind, name, age, wall
   time, outcome);
@@ -9,7 +9,10 @@ Four verbs over :class:`~repro.obs.store.RunStore`:
 * ``diff``    — metric deltas between two runs;
 * ``regress`` — compare a run against a baseline under noise
   thresholds; exits ``1`` when a regression is detected, which makes
-  it usable as a CI gate.
+  it usable as a CI gate;
+* ``recover`` — crash-recovery sweep: salvage torn writes, rebuild the
+  index, and list the interrupted runs ``repro eco --resume`` can
+  continue.
 
 Run references accept ``last`` / ``first``, negative indexes (``-2`` =
 second newest) and unique run-id prefixes.  This module is on the
@@ -193,6 +196,33 @@ def _cmd_regress(store: RunStore, args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_recover(store: RunStore, args: argparse.Namespace) -> int:
+    report = store.recover()
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(f"store    : {store.root}")
+    print(f"records  : {report['records']} intact"
+          + (f", {report['skipped_lines']} unparsable line(s) skipped"
+             if report["skipped_lines"] else ""))
+    if report["salvaged_fragment"] is not None:
+        print(f"salvaged : dropped torn trailing record "
+              f"({len(report['salvaged_fragment'])} bytes)")
+    if report["swept_tmp"]:
+        print(f"swept    : {report['swept_tmp']} orphaned tmp file(s)")
+    resumable = report["resumable"]
+    if not resumable:
+        print("resumable: none")
+        return 0
+    print(f"resumable: {len(resumable)} interrupted run(s)")
+    for entry in resumable:
+        salvaged = " [journal salvaged]" if entry["salvaged"] else ""
+        print(f"  {entry['run_id']}  {entry['impl'] or '?':<18} "
+              f"{entry['commits']} commit(s){salvaged}")
+        print(f"    resume with: repro eco --resume {entry['run_id']} ...")
+    return 0
+
+
 # ----------------------------------------------------------------------
 # argparse surface
 # ----------------------------------------------------------------------
@@ -245,6 +275,13 @@ def add_runs_arguments(parser: argparse.ArgumentParser) -> None:
                    help="absolute BDD-node noise floor")
     p.add_argument("--json", action="store_true")
     p.set_defaults(runs_func=_cmd_regress)
+
+    p = sub.add_parser(
+        "recover",
+        help="salvage the store after a crash and list resumable runs")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable recovery report")
+    p.set_defaults(runs_func=_cmd_recover)
 
 
 def run_runs(args: argparse.Namespace) -> int:

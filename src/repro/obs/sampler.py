@@ -100,15 +100,23 @@ class RunSampler:
         return self
 
     def stop(self) -> None:
-        """Stop the tick thread and take the final sample."""
+        """Stop the tick thread and take the final sample.
+
+        Join-first and exception-safe: the thread is always signalled
+        and joined (and ``tracemalloc`` always stopped) even when the
+        final sample raises — a failing trace exporter must not leave
+        the daemon thread ticking into the next run.
+        """
         self._stop.set()
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-            self._thread = None
-        self.sample()
-        if self._started_malloc:
-            tracemalloc.stop()
-            self._started_malloc = False
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=5.0)
+        try:
+            self.sample()
+        finally:
+            if self._started_malloc:
+                tracemalloc.stop()
+                self._started_malloc = False
 
     def __enter__(self) -> "RunSampler":
         return self.start()

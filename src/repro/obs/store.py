@@ -27,13 +27,22 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import logging
 import os
 import subprocess
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ReproError
-from repro.obs.atomicio import append_jsonl_line, atomic_write_text, read_jsonl
+from repro.obs.atomicio import (
+    append_jsonl_line,
+    atomic_write_text,
+    read_jsonl,
+    salvage_jsonl,
+    sweep_temp_leftovers,
+)
+
+logger = logging.getLogger("repro.obs")
 
 RECORD_VERSION = 1
 
@@ -67,7 +76,7 @@ class RunRecord:
     name: str                     # design / case label
     started_at: float             # epoch seconds (repro.runtime.clock)
     wall_seconds: float
-    outcome: str                  # "ok" | "degraded" | "failed"
+    outcome: str                  # "ok" | "degraded" | "interrupted" | "failed"
     degraded: bool = False
     degrade_reason: Optional[str] = None
     strict: bool = False
@@ -181,7 +190,8 @@ def record_from_result(result, trace=None, kind: str = "eco",
                        name: Optional[str] = None,
                        config: Optional[Any] = None,
                        outcome: Optional[str] = None,
-                       tags: Optional[Dict[str, Any]] = None) -> RunRecord:
+                       tags: Optional[Dict[str, Any]] = None,
+                       run_id: Optional[str] = None) -> RunRecord:
     """Build a :class:`RunRecord` from a ``RectificationResult``.
 
     ``trace`` (when the run was traced) supplies the per-phase summary,
@@ -189,7 +199,9 @@ def record_from_result(result, trace=None, kind: str = "eco",
     supervisor's budget clock observes fault-injected stalls, so the
     recorded wall time is exactly what regression tracking should see.
     ``config`` accepts an ``EcoConfig`` (or any dataclass) or a plain
-    dict.
+    dict.  ``run_id`` pins the record to an identity the caller chose
+    up front (journaled runs use the journal's id so ``--resume`` and
+    the run record agree); omitted, a fresh id is generated.
     """
     from repro.runtime.clock import now  # lazy: obs sits below runtime
 
@@ -232,7 +244,7 @@ def record_from_result(result, trace=None, kind: str = "eco",
     screens = counters.get("lint_screens", 0)
     rejects = counters.get("lint_rejects", 0)
     record = RunRecord(
-        run_id=new_run_id(started_at),
+        run_id=run_id or new_run_id(started_at),
         kind=kind,
         name=name or meta.get("impl") or meta.get("name") or "run",
         started_at=round(started_at, 3),
@@ -341,16 +353,58 @@ class RunStore:
         with open(self.records_path, "r", encoding="utf-8") as fh:
             return sum(1 for line in fh if line.strip())
 
+    def recover(self) -> Dict[str, Any]:
+        """Crash-recovery sweep of the store directory.
+
+        Salvages a torn trailing line a legacy writer may have left in
+        ``records.jsonl``, rebuilds ``index.json`` from the surviving
+        records, removes orphaned ``.tmp-*`` files, and lists the
+        checkpoint journals of runs that never finished (the ones
+        ``repro eco --resume`` can continue).  Safe to run any time —
+        a healthy store passes through untouched.
+        """
+        # lazy: checkpoint sits above obs in the layering
+        from repro.eco.checkpoint import list_resumable
+
+        fragment = None
+        if os.path.exists(self.records_path):
+            fragment = salvage_jsonl(self.records_path)
+            if fragment is not None:
+                logger.warning(
+                    "run store %s: dropped torn trailing record "
+                    "(%d bytes)", self.records_path, len(fragment))
+        records = self.load_all()
+        if os.path.isdir(self.root):
+            self._write_index([r.index_entry() for r in records])
+        swept = sweep_temp_leftovers(self.root)
+        return {
+            "records": len(records),
+            "skipped_lines": self.skipped,
+            "salvaged_fragment": fragment,
+            "swept_tmp": len(swept),
+            "resumable": list_resumable(self.root),
+        }
+
+    # ------------------------------------------------------------------
     def _index_entries(self) -> List[Dict[str, Any]]:
         if not os.path.exists(self.index_path):
             return []
         try:
             with open(self.index_path, "r", encoding="utf-8") as fh:
                 payload = json.load(fh)
-        except (json.JSONDecodeError, OSError):
+        except (json.JSONDecodeError, OSError) as exc:
+            # a half-written or garbage index is derived data: warn and
+            # let the caller rebuild it from records.jsonl
+            logger.warning("run-store index %s unreadable (%s); "
+                           "rebuilding from records.jsonl",
+                           self.index_path, exc)
             return []
         runs = payload.get("runs") if isinstance(payload, dict) else None
-        return list(runs) if isinstance(runs, list) else []
+        if not isinstance(runs, list):
+            logger.warning("run-store index %s malformed; rebuilding "
+                           "from records.jsonl", self.index_path)
+            return []
+        return list(runs)
 
     def _write_index(self, entries: List[Dict[str, Any]]) -> None:
         atomic_write_text(self.index_path, json.dumps(
@@ -457,7 +511,7 @@ def check_regressions(
                 f"{label} {cur:.0f} vs baseline {base:.0f} "
                 f"(>{pct:.0f}% and >{floor:.0f} more)"))
 
-    outcome_rank = {"ok": 0, "degraded": 1, "failed": 2}
+    outcome_rank = {"ok": 0, "degraded": 1, "interrupted": 2, "failed": 2}
     if outcome_rank.get(current.outcome, 2) > \
             outcome_rank.get(baseline.outcome, 2):
         found.append(Regression(

@@ -12,6 +12,8 @@ supervision & failure handling"):
   degradation state the engine consults;
 * :class:`FaultInjector` — deterministic fault injection at named call
   sites, making every degradation branch unit-testable;
+* :class:`RetryPolicy` — exponential backoff with deterministic jitter
+  for the supervised worker pool;
 * :class:`RunCounters` — typed per-run telemetry.
 
 Only :mod:`repro.errors` is depended on; the package sits at the bottom
@@ -23,16 +25,23 @@ from repro.runtime.clock import now
 from repro.runtime.counters import RunCounters
 from repro.runtime.escalate import EscalationPolicy
 from repro.runtime.faultinject import (
+    FAULT_CRASH,
     FAULT_EXHAUST,
+    FAULT_KILL,
+    FAULT_TORN,
     FAULT_UNKNOWN,
     Fault,
     FaultInjector,
     InjectedClock,
+    InjectedCrash,
     MonotonicClock,
     SITE_BDD,
     SITE_CLOCK,
+    SITE_JOURNAL,
     SITE_SAT,
+    SITE_WORKER,
 )
+from repro.runtime.retry import RetryPolicy
 from repro.runtime.supervisor import RunSupervisor
 
 __all__ = [
@@ -43,11 +52,18 @@ __all__ = [
     "Fault",
     "FaultInjector",
     "InjectedClock",
+    "InjectedCrash",
     "MonotonicClock",
+    "RetryPolicy",
     "RunSupervisor",
+    "FAULT_CRASH",
     "FAULT_EXHAUST",
+    "FAULT_KILL",
+    "FAULT_TORN",
     "FAULT_UNKNOWN",
     "SITE_BDD",
     "SITE_CLOCK",
+    "SITE_JOURNAL",
     "SITE_SAT",
+    "SITE_WORKER",
 ]

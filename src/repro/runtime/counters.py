@@ -51,6 +51,14 @@ class RunCounters:
     * ``bdd_sessions`` — symbolic sessions opened;
     * ``attempts_capped`` — outputs whose search hit the attempt cap;
     * ``degraded_outputs`` — outputs force-completed after exhaustion.
+
+    Fault tolerance (checkpoint/resume and the supervised pool):
+
+    * ``worker_deaths`` — supervised pool workers that died mid-task;
+    * ``tasks_retried`` — partition tasks re-dispatched after a death;
+    * ``outputs_quarantined`` — partitions abandoned after repeated
+      worker deaths (their outputs complete via the fallback);
+    * ``replayed_commits`` — journaled patches replayed on resume.
     """
 
     choices: int = 0
@@ -75,6 +83,10 @@ class RunCounters:
     bdd_sessions: int = 0
     attempts_capped: int = 0
     degraded_outputs: int = 0
+    worker_deaths: int = 0
+    tasks_retried: int = 0
+    outputs_quarantined: int = 0
+    replayed_commits: int = 0
 
     # -- mapping-style compatibility -----------------------------------
     def _names(self) -> Tuple[str, ...]:

@@ -20,7 +20,22 @@ Sites observed by the supervisor:
   conflict budget were spent.
 * :data:`SITE_CLOCK` — once per wall-clock read.  Payload is a number
   of seconds the clock jumps forward (simulating a stall that blows a
-  deadline).
+  deadline, or a heartbeat that misses its per-task deadline).
+
+Process-level sites observed by the fault-tolerant execution layer
+(the chaos harness of ``docs/robustness.md``):
+
+* :data:`SITE_WORKER` — once per task the supervised worker pool
+  dispatches.  Payload :data:`FAULT_KILL` makes that task's worker die
+  (``os._exit`` in a real pool; a simulated
+  :class:`~repro.errors.WorkerDiedError` inline), exercising the
+  retry/backoff/quarantine machinery deterministically.
+* :data:`SITE_JOURNAL` — once per checkpoint-journal append.  Payload
+  :data:`FAULT_CRASH` raises :class:`InjectedCrash` *before* the
+  record is written (clean kill between records);
+  :data:`FAULT_TORN` writes a torn half-record — bypassing the atomic
+  writer, as a legacy writer or dying kernel would — and then raises,
+  exercising torn-line salvage on resume.
 
 An injector is stateful (it counts observations); create a fresh one
 per run.
@@ -35,10 +50,28 @@ from typing import Dict, Iterable, Optional, Union
 SITE_BDD = "bdd.open"
 SITE_SAT = "sat.call"
 SITE_CLOCK = "clock"
+SITE_WORKER = "worker.task"
+SITE_JOURNAL = "journal.append"
 
 #: payloads understood at :data:`SITE_SAT`
 FAULT_UNKNOWN = "unknown"
 FAULT_EXHAUST = "exhaust"
+
+#: payload understood at :data:`SITE_WORKER`
+FAULT_KILL = "kill"
+
+#: payloads understood at :data:`SITE_JOURNAL`
+FAULT_CRASH = "crash"
+FAULT_TORN = "torn"
+
+
+class InjectedCrash(RuntimeError):
+    """A deterministic simulated process death.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: nothing in
+    the library may catch and recover from it — it must unwind the
+    whole run exactly like a real ``kill -9`` would end the process.
+    """
 
 
 @dataclass(frozen=True)

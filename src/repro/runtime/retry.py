@@ -1,0 +1,91 @@
+"""Retry policies with exponential backoff and deterministic jitter.
+
+The supervised worker pool (:mod:`repro.eco.parallel`) retries an
+output partition whose worker died — but a retry is only worth the
+wait if the run can still afford it.  :class:`RetryPolicy` computes
+the classic ``base * factor**attempt`` backoff schedule with a
+*seeded* jitter (so test runs are reproducible) and knows how to cap a
+delay against a :class:`~repro.runtime.budget.RunBudget`: a sleep that
+would eat the remaining deadline is refused rather than taken.
+
+Like the rest of :mod:`repro.runtime` the module is stdlib-only; the
+actual ``sleep`` call is injectable so unit tests never block.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff schedule for supervised task retries.
+
+    Args:
+        max_retries: retries granted per task after its first failure;
+            ``0`` disables retrying entirely.
+        base_delay_s: backoff before the first retry.
+        factor: geometric growth of the delay between retries.
+        max_delay_s: cap on any single delay (pre-jitter).
+        jitter: fraction of the delay drawn uniformly at random and
+            *added* on top (``0.5`` means delays land in
+            ``[d, 1.5 * d]``); decorrelates herds of retries.
+        seed: jitter randomization seed — the schedule is a pure
+            function of ``(seed, attempt)``, so reruns are identical.
+    """
+
+    max_retries: int = 1
+    base_delay_s: float = 0.25
+    factor: float = 2.0
+    max_delay_s: float = 30.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be >= 0")
+        if self.factor < 1.0:
+            raise ValueError("factor must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    # ------------------------------------------------------------------
+    def allows(self, failures: int) -> bool:
+        """True while a task that failed ``failures`` times may retry."""
+        return failures <= self.max_retries
+
+    def delay_s(self, attempt: int) -> float:
+        """Jittered backoff before retry ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("retry attempts are 1-based")
+        raw = min(self.base_delay_s * self.factor ** (attempt - 1),
+                  self.max_delay_s)
+        if self.jitter <= 0.0 or raw <= 0.0:
+            return raw
+        rng = random.Random((self.seed << 8) ^ attempt)
+        return raw * (1.0 + self.jitter * rng.random())
+
+    def sleep_within_budget(self, attempt: int, budget=None,
+                            sleep: Callable[[float], None] = time.sleep,
+                            ) -> Optional[float]:
+        """Sleep the backoff for ``attempt``, or refuse under a budget.
+
+        When ``budget`` (a :class:`~repro.runtime.budget.RunBudget`)
+        has a deadline and the delay would not leave at least as much
+        time again to actually redo the work, the retry is pointless:
+        returns ``None`` without sleeping.  Otherwise sleeps and
+        returns the delay taken.
+        """
+        delay = self.delay_s(attempt)
+        if budget is not None:
+            left = budget.time_left()
+            if left is not None and delay >= left / 2.0:
+                return None
+        if delay > 0.0:
+            sleep(delay)
+        return delay

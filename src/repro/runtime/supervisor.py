@@ -67,6 +67,10 @@ class RunSupervisor:
         self.counters = RunCounters()
         self.degraded = False
         self.degrade_reason: Optional[str] = None
+        #: outputs whose parallel partition repeatedly killed workers,
+        #: mapped to the reason; the engine skips searching them and
+        #: completes them via the fallback (port -> reason)
+        self.quarantined: Dict[str, str] = {}
         #: run-wide CNF template cache (spec cones, miter encodings)
         self.cnf_cache = CnfCache(counters=self.counters)
         #: per-run scratch for counterexample-guided refinement
@@ -128,6 +132,21 @@ class RunSupervisor:
             self.degrade_reason = reason
             self.trace.event("run.degraded", reason=reason)
             logger.warning("run degraded: %s", reason)
+
+    def quarantine(self, port: str, reason: str) -> None:
+        """Stop searching ``port``: its partition keeps killing workers.
+
+        Unlike :meth:`mark_degraded` this is scoped to one output — the
+        rest of the run proceeds at full strength, and the quarantined
+        output is completed via the Sec. 3.3 fallback.  The result is
+        still reported degraded (a fallback forced by infrastructure
+        failure, not by the search).
+        """
+        if port not in self.quarantined:
+            self.quarantined[port] = reason
+            self.counters.outputs_quarantined += 1
+            self.trace.event("output.quarantined", port=port, reason=reason)
+            logger.warning("output %s quarantined: %s", port, reason)
 
     # ------------------------------------------------------------------
     # per-output attempt cap
@@ -290,6 +309,48 @@ class RunSupervisor:
             "total_bdd_nodes":
                 None if bdd_left is None else max(1, bdd_left // shares),
         }
+
+    def partition_shares(self, jobs: int) -> tuple:
+        """Exact budget partition across ``jobs`` workers + the main
+        process.
+
+        Returns ``(shares, reserve)`` where ``shares`` is one budget
+        dict per worker (same keys as :meth:`partition_budget`) and
+        ``reserve`` is the main process's share.  For each capped
+        resource the worker shares plus the reserve sum *exactly* to
+        the remaining budget — the division remainder goes to the
+        reserve, so partitioning loses nothing and a retried task
+        re-uses its partition's share instead of drawing a fresh one
+        (no double-spend).  The one exception: every worker share has
+        a floor of 1 (configs reject zero budgets), so a budget
+        smaller than ``jobs + 1`` over-allocates and the reserve
+        clamps to 0 — the workers' aggregate spend is still charged
+        against the real budget when their telemetry is absorbed.
+        """
+        time_left = self.budget.time_left()
+        sat_left = self.budget.sat_remaining()
+        bdd_left = self.budget.bdd_remaining()
+
+        def split(total):
+            if total is None:
+                return [None] * jobs, None
+            per = max(1, total // (jobs + 1))
+            worker_shares = [per] * jobs
+            return worker_shares, max(0, total - per * jobs)
+
+        sat_shares, sat_reserve = split(sat_left)
+        bdd_shares, bdd_reserve = split(bdd_left)
+        shares = [{
+            "deadline_s": time_left,
+            "total_sat_budget": sat_shares[i],
+            "total_bdd_nodes": bdd_shares[i],
+        } for i in range(jobs)]
+        reserve = {
+            "deadline_s": time_left,
+            "total_sat_budget": sat_reserve,
+            "total_bdd_nodes": bdd_reserve,
+        }
+        return shares, reserve
 
     def absorb_worker(self, counters: Dict[str, int],
                       degraded: bool = False,

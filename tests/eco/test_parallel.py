@@ -56,6 +56,43 @@ class TestPartitioning:
         assert share["total_sat_budget"] is None
         assert share["total_bdd_nodes"] is None
 
+    @pytest.mark.parametrize("total,jobs", [
+        (100, 3), (100, 4), (7, 3), (101, 2), (997, 16),
+    ])
+    def test_partition_shares_sum_exactly(self, total, jobs):
+        run = RunSupervisor.from_config(
+            EcoConfig(total_sat_budget=total, total_bdd_nodes=total))
+        shares, reserve = run.partition_shares(jobs)
+        assert len(shares) == jobs
+        for key in ("total_sat_budget", "total_bdd_nodes"):
+            # the division remainder lands in the reserve: no conflict
+            # of the parent budget is lost or double-granted
+            assert sum(s[key] for s in shares) + reserve[key] == total
+            assert all(s[key] >= 1 for s in shares)
+            assert reserve[key] >= min(s[key] for s in shares)
+
+    def test_partition_shares_tiny_budget_floors_at_one(self):
+        # budgets below jobs+1 cannot split exactly (configs reject
+        # zero): each worker gets the floor of 1, the reserve clamps
+        run = RunSupervisor.from_config(EcoConfig(total_sat_budget=2))
+        shares, reserve = run.partition_shares(3)
+        assert [s["total_sat_budget"] for s in shares] == [1, 1, 1]
+        assert reserve["total_sat_budget"] == 0
+
+    def test_partition_shares_track_spent_budget(self):
+        run = RunSupervisor.from_config(EcoConfig(total_sat_budget=100))
+        run.budget.charge_sat(40)
+        shares, reserve = run.partition_shares(2)
+        assert sum(s["total_sat_budget"] for s in shares) \
+            + reserve["total_sat_budget"] == 60
+
+    def test_partition_shares_unlimited_stay_unlimited(self):
+        run = RunSupervisor.from_config(EcoConfig())
+        shares, reserve = run.partition_shares(2)
+        assert all(s["total_sat_budget"] is None for s in shares)
+        assert reserve["total_bdd_nodes"] is None
+        assert reserve["deadline_s"] is None
+
 
 class TestTelemetryMerge:
     def test_absorb_worker_adds_counters_and_charges_budget(self):

@@ -77,6 +77,34 @@ class TestSampling:
                 pass
         assert len(sample_events(trace)) == 2
 
+    def test_stop_joins_thread_even_when_final_sample_raises(self):
+        """Exception-safe teardown: a failing final sample must not
+        leave the daemon thread ticking into the next run."""
+
+        class ExplodingTrace:
+            progress = 0
+            enabled = True
+            fail = False
+
+            def event(self, name, **tags):
+                if self.fail:
+                    raise ValueError("exporter broke")
+
+        trace = ExplodingTrace()
+        before = threading.active_count()
+        sampler = RunSampler(trace, interval_s=0.001)
+        sampler.start()
+        assert sampler._thread is not None
+        trace.fail = True
+        try:
+            sampler.stop()
+        except ValueError:
+            pass  # the failure propagates, but only after the join
+        assert sampler._thread is None
+        assert threading.active_count() == before
+        assert not [t for t in threading.enumerate()
+                    if t.name == "repro-obs-sampler"]
+
     def test_interval_thread_runs_and_joins(self):
         trace = Trace(name="t")
         before = threading.active_count()

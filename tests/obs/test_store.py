@@ -123,6 +123,72 @@ class TestRunStore:
                      if n.startswith(".tmp-")]
         assert leftovers == []
 
+    def test_truncated_index_rebuilt_with_warning(self, store, caplog):
+        store.publish(make_record("a" * 8))
+        store.publish(make_record("b" * 8))
+        with open(store.index_path, "w", encoding="utf-8") as fh:
+            fh.write('{"version": 1, "runs": [{"run_id"')  # killed writer
+        with caplog.at_level("WARNING", logger="repro.obs"):
+            entries = store.list()
+        assert [e["run_id"] for e in entries] == ["a" * 8, "b" * 8]
+        assert any("index" in r.message for r in caplog.records)
+        # the rebuild was persisted: the next read is warning-free
+        caplog.clear()
+        with caplog.at_level("WARNING", logger="repro.obs"):
+            assert len(store.list()) == 2
+        assert not caplog.records
+
+    def test_garbage_index_rebuilt_with_warning(self, store, caplog):
+        store.publish(make_record("a" * 8))
+        with open(store.index_path, "w", encoding="utf-8") as fh:
+            fh.write('"not an index"')  # valid JSON, wrong shape
+        with caplog.at_level("WARNING", logger="repro.obs"):
+            entries = store.list()
+        assert [e["run_id"] for e in entries] == ["a" * 8]
+        assert any("index" in r.message for r in caplog.records)
+
+
+class TestRecover:
+    def test_clean_store_reports_nothing_to_do(self, store):
+        store.publish(make_record("a" * 8))
+        report = store.recover()
+        assert report["records"] == 1
+        assert report["skipped_lines"] == 0
+        assert report["salvaged_fragment"] is None
+        assert report["swept_tmp"] == 0
+        assert report["resumable"] == []
+
+    def test_salvages_torn_records_tail(self, store, caplog):
+        store.publish(make_record("a" * 8))
+        with open(store.records_path, "a", encoding="utf-8") as fh:
+            fh.write('{"run_id": "tor')
+        with caplog.at_level("WARNING", logger="repro.obs"):
+            report = store.recover()
+        assert report["records"] == 1
+        assert report["salvaged_fragment"].startswith('{"run_id"')
+        # the torn tail is gone from disk, not just skipped
+        with open(store.records_path, encoding="utf-8") as fh:
+            assert fh.read().count("\n") == 1
+        assert store.recover()["salvaged_fragment"] is None
+
+    def test_sweeps_orphaned_tmp_files(self, store):
+        store.publish(make_record("a" * 8))
+        orphan = os.path.join(store.root, ".tmp-orphan-123")
+        with open(orphan, "w", encoding="utf-8") as fh:
+            fh.write("half a write")
+        report = store.recover()
+        assert report["swept_tmp"] == 1
+        assert not os.path.exists(orphan)
+
+    def test_lists_resumable_journals(self, store):
+        from repro.eco.checkpoint import RunJournal
+        from repro.eco.config import EcoConfig
+
+        journal = RunJournal("r-live", store_root=store.root)
+        journal.start("adder", EcoConfig(), ["o1"])
+        report = store.recover()
+        assert [e["run_id"] for e in report["resumable"]] == ["r-live"]
+
 
 class TestDiff:
     def test_wall_and_counters(self):

@@ -1,0 +1,96 @@
+"""Retry-policy tests: schedule determinism and budget-aware sleeps."""
+
+import pytest
+
+from repro.runtime.retry import RetryPolicy
+
+
+class FakeBudget:
+    def __init__(self, left):
+        self.left = left
+
+    def time_left(self):
+        return self.left
+
+
+class TestSchedule:
+    def test_delays_grow_geometrically_and_cap(self):
+        policy = RetryPolicy(base_delay_s=1.0, factor=2.0,
+                             max_delay_s=5.0, jitter=0.0)
+        assert policy.delay_s(1) == 1.0
+        assert policy.delay_s(2) == 2.0
+        assert policy.delay_s(3) == 4.0
+        assert policy.delay_s(4) == 5.0  # capped pre-jitter
+        assert policy.delay_s(10) == 5.0
+
+    def test_jitter_is_bounded_and_additive(self):
+        policy = RetryPolicy(base_delay_s=1.0, factor=1.0, jitter=0.5)
+        for attempt in range(1, 8):
+            d = policy.delay_s(attempt)
+            assert 1.0 <= d <= 1.5
+
+    def test_schedule_is_deterministic_per_seed(self):
+        a = RetryPolicy(seed=7)
+        b = RetryPolicy(seed=7)
+        c = RetryPolicy(seed=8)
+        schedule = [a.delay_s(n) for n in range(1, 6)]
+        assert schedule == [b.delay_s(n) for n in range(1, 6)]
+        assert schedule != [c.delay_s(n) for n in range(1, 6)]
+
+    def test_attempts_are_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay_s(0)
+
+    def test_allows_counts_failures_against_max_retries(self):
+        policy = RetryPolicy(max_retries=1)
+        assert policy.allows(1) is True
+        assert policy.allows(2) is False
+        none = RetryPolicy(max_retries=0)
+        assert none.allows(1) is False
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_retries": -1}, {"base_delay_s": -0.1}, {"factor": 0.5},
+        {"jitter": 1.5}, {"jitter": -0.1},
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestBudgetedSleep:
+    def test_sleeps_and_returns_delay_without_budget(self):
+        slept = []
+        policy = RetryPolicy(base_delay_s=0.5, jitter=0.0)
+        taken = policy.sleep_within_budget(1, sleep=slept.append)
+        assert taken == 0.5
+        assert slept == [0.5]
+
+    def test_refuses_when_delay_would_eat_the_deadline(self):
+        slept = []
+        policy = RetryPolicy(base_delay_s=2.0, jitter=0.0)
+        # 2s backoff against 3s left: the redo would get < 2s — refuse
+        taken = policy.sleep_within_budget(1, budget=FakeBudget(3.0),
+                                           sleep=slept.append)
+        assert taken is None
+        assert slept == []
+
+    def test_sleeps_when_budget_is_comfortable(self):
+        slept = []
+        policy = RetryPolicy(base_delay_s=2.0, jitter=0.0)
+        taken = policy.sleep_within_budget(1, budget=FakeBudget(100.0),
+                                           sleep=slept.append)
+        assert taken == 2.0
+        assert slept == [2.0]
+
+    def test_unlimited_budget_never_refuses(self):
+        policy = RetryPolicy(base_delay_s=2.0, jitter=0.0)
+        taken = policy.sleep_within_budget(1, budget=FakeBudget(None),
+                                           sleep=lambda _s: None)
+        assert taken == 2.0
+
+    def test_zero_delay_skips_the_sleep_call(self):
+        slept = []
+        policy = RetryPolicy(base_delay_s=0.0, jitter=0.0)
+        taken = policy.sleep_within_budget(1, sleep=slept.append)
+        assert taken == 0.0
+        assert slept == []

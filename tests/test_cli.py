@@ -296,3 +296,92 @@ class TestRunStore:
         capsys.readouterr()
         assert main(["runs", "--store", store, "show", "nope"]) == 3
         assert "no run matches" in capsys.readouterr().err
+
+
+class TestResume:
+    """SIGINT handling, interrupted records, and ``--resume``."""
+
+    def run_eco(self, eco_files, store, *extra):
+        impl_path, spec_path = eco_files
+        return main(["eco", "--impl", impl_path, "--spec", spec_path,
+                     "--samples", "8", "--store", store, *extra])
+
+    def interrupt_mid_search(self, monkeypatch):
+        """Make the search die after the journal header is written —
+        what ctrl-C during a long run looks like to the CLI."""
+        from repro.eco.engine import SysEco
+
+        def boom(self, *args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(SysEco, "_repair_outputs", boom)
+
+    def test_sigint_persists_interrupted_record(self, eco_files, tmp_path,
+                                                capsys, monkeypatch):
+        from repro.obs import RunStore
+
+        store = str(tmp_path / "runs")
+        self.interrupt_mid_search(monkeypatch)
+        assert self.run_eco(eco_files, store) == 130
+        err = capsys.readouterr().err
+        assert "interrupted (SIGINT)" in err
+        assert "resume with: repro eco --resume" in err
+        (record,) = RunStore(store).load_all()
+        assert record.outcome == "interrupted"
+        assert record.tags.get("resumable") is True
+
+    def test_recover_lists_the_interrupted_run(self, eco_files, tmp_path,
+                                               capsys, monkeypatch):
+        from repro.obs import RunStore
+
+        store = str(tmp_path / "runs")
+        self.interrupt_mid_search(monkeypatch)
+        assert self.run_eco(eco_files, store) == 130
+        (record,) = RunStore(store).load_all()
+        capsys.readouterr()
+        assert main(["runs", "--store", store, "recover"]) == 0
+        out = capsys.readouterr().out
+        assert record.run_id in out
+        assert f"repro eco --resume {record.run_id}" in out
+
+    def test_resume_completes_the_interrupted_run(self, eco_files,
+                                                  tmp_path, capsys,
+                                                  monkeypatch):
+        from repro.obs import RunStore
+
+        store = str(tmp_path / "runs")
+        with monkeypatch.context() as patched:
+            self.interrupt_mid_search(patched)
+            assert self.run_eco(eco_files, store) == 130
+        (interrupted,) = RunStore(store).load_all()
+        capsys.readouterr()
+
+        assert self.run_eco(eco_files, store,
+                            "--resume", interrupted.run_id) == 0
+        out = capsys.readouterr().out
+        assert "verified: True" in out
+        records = RunStore(store).load_all()
+        final = records[-1]
+        assert final.outcome == "ok"
+        assert final.tags.get("resumed") is True
+        assert final.tags.get("journal") == interrupted.run_id
+        assert final.run_id != interrupted.run_id
+        # the journal is finished: nothing is left to recover
+        assert main(["runs", "--store", store, "recover"]) == 0
+        assert "resumable: none" in capsys.readouterr().out
+
+    def test_resume_unknown_run_is_an_error(self, eco_files, tmp_path,
+                                            capsys):
+        store = str(tmp_path / "runs")
+        code = self.run_eco(eco_files, store, "--resume", "1999-nope")
+        assert code != 0
+        assert "no resumable journal" in capsys.readouterr().err
+
+    def test_resume_rejected_for_baseline_engines(self, eco_files,
+                                                  tmp_path, capsys):
+        store = str(tmp_path / "runs")
+        code = self.run_eco(eco_files, store, "--resume", "x",
+                            "--engine", "conemap")
+        assert code != 0
+        assert "only supported by the syseco engine" \
+            in capsys.readouterr().err
