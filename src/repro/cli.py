@@ -13,6 +13,8 @@ Run ``python -m repro <command> --help``.  Commands:
   and regression-check recorded runs (``repro runs regress
   --baseline REF`` exits nonzero on regression — a CI gate), plus
   ``recover`` to salvage a crashed store and list resumable runs;
+* ``watch``  — TTY dashboard over a recorded run, or over a live
+  ``repro eco --serve-metrics`` endpoint with ``--url``;
 * ``lint``   — static diagnostics: netlist analyzer, patch-op
   legality, or the repo's own invariants (``--self``);
 * ``tables`` — regenerate the paper's tables on the scaled suite.
@@ -179,17 +181,33 @@ def _cmd_eco(args: argparse.Namespace) -> int:
             run_id = new_run_id(_clock_now())
             journal = RunJournal(run_id, store_root=store_root)
 
-    want_export = bool(args.trace or args.metrics)
+    serve_port = getattr(args, "serve_metrics", None)
+    want_export = bool(args.trace or args.metrics
+                       or serve_port is not None)
     trace = None
     if want_export and args.engine != "syseco":
-        print(f"warning: --trace/--metrics is only supported by the "
-              f"syseco engine, not {args.engine}; skipping",
-              file=sys.stderr)
+        print(f"warning: --trace/--metrics/--serve-metrics is only "
+              f"supported by the syseco engine, not {args.engine}; "
+              f"skipping", file=sys.stderr)
+        serve_port = None
     elif (want_export or args.store_runs) and args.engine == "syseco":
         # traced whenever the run is being recorded, so the run store
-        # gets the phase summary and the obs.sample timeline
-        from repro.obs import Trace
-        trace = Trace(name=impl.name)
+        # gets the phase summary and the obs.sample timeline; the
+        # metrics registry rides on the trace, collecting latency
+        # histograms for the run record and the live endpoint
+        from repro.obs import MetricsRegistry, Trace
+        trace = Trace(name=impl.name, metrics=MetricsRegistry())
+
+    server = None
+    if serve_port is not None and trace is not None:
+        from repro.obs import maybe_serve
+        server = maybe_serve(
+            trace.metrics, serve_port, trace=trace,
+            health_provider=lambda: {"run_id": run_id,
+                                     "engine": args.engine})
+        if server is not None:
+            print(f"serving metrics on {server.url} "
+                  f"(/metrics, /healthz)", file=sys.stderr)
 
     from repro.runtime.clock import now as _now
     from repro.runtime.profile import profiled
@@ -205,7 +223,11 @@ def _cmd_eco(args: argparse.Namespace) -> int:
         print("\ninterrupted (SIGINT)", file=sys.stderr)
         if args.store_runs and run_id is not None:
             _publish_interrupted(args, impl, run_id, started_s)
+        if server is not None:
+            server.stop()
         return 130
+    if server is not None:
+        server.stop()
     if args.profile:
         print(f"wrote {args.profile} (cProfile stats)")
     from repro.eco.report import format_patch_report
@@ -484,6 +506,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", metavar="FILE",
                    help="write a Prometheus-style text metrics snapshot "
                         "of the run")
+    p.add_argument("--serve-metrics", metavar="PORT", type=int,
+                   nargs="?", const=0, default=None,
+                   help="serve /metrics (Prometheus text) and /healthz "
+                        "on 127.0.0.1:PORT for the duration of the run "
+                        "(PORT omitted: an ephemeral port, printed to "
+                        "stderr); point 'repro watch --url' at it")
     p.add_argument("--counters-json", metavar="FILE",
                    help="dump run counters, degradation state and "
                         "per-output status as JSON")
@@ -529,6 +557,14 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.obs.runs_cli import add_runs_arguments, run_runs
     add_runs_arguments(p)
     p.set_defaults(func=run_runs)
+
+    p = sub.add_parser(
+        "watch",
+        help="TTY dashboard: render a recorded run, or tail a live "
+             "'repro eco --serve-metrics' endpoint with --url")
+    from repro.obs.watch_cli import add_watch_arguments, run_watch
+    add_watch_arguments(p)
+    p.set_defaults(func=run_watch)
 
     p = sub.add_parser(
         "lint",

@@ -38,6 +38,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -169,6 +170,7 @@ class RunJournal:
         self.path = journal_path(self.store_root, run_id)
         self.state = JournalState()
         self._injector = None
+        self._metrics = None
         self._seq = 0
         if resume:
             self.load()
@@ -187,9 +189,12 @@ class RunJournal:
     def commits(self) -> List[JournalCommit]:
         return self.state.commits
 
-    def bind(self, injector) -> None:
-        """Route subsequent appends through a fault injector."""
+    def bind(self, injector, metrics=None) -> None:
+        """Route subsequent appends through a fault injector, and
+        optionally time them into the ``repro_journal_append_seconds``
+        histogram of a :class:`~repro.obs.metrics.MetricsRegistry`."""
         self._injector = injector
+        self._metrics = metrics
 
     # ------------------------------------------------------------------
     def load(self) -> JournalState:
@@ -304,7 +309,16 @@ class RunJournal:
                 raise InjectedCrash(
                     f"fault injection: process killed mid-append "
                     f"{self._injector.calls(SITE_JOURNAL)} (torn write)")
+        if self._metrics is None:
+            append_jsonl_line(self.path, record)
+            return
+        t0 = time.monotonic()
         append_jsonl_line(self.path, record)
+        from repro.obs.metrics import JOURNAL_APPEND_HISTOGRAM
+        self._metrics.histogram(
+            JOURNAL_APPEND_HISTOGRAM[0],
+            help=JOURNAL_APPEND_HISTOGRAM[1],
+        ).observe(time.monotonic() - t0)
 
     def _tear(self, record: Dict[str, Any]) -> None:
         """Write half a record non-atomically, as a dying legacy writer

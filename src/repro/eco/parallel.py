@@ -52,6 +52,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ResourceBudgetExceeded, WorkerDiedError
 from repro.netlist.circuit import Circuit
+from repro.obs.live import LiveAggregator, LiveBus, WorkerPublisher
 from repro.obs.trace import Trace
 from repro.runtime.faultinject import FAULT_KILL, SITE_WORKER
 from repro.runtime.retry import RetryPolicy
@@ -86,7 +87,10 @@ def _run_worker(payload) -> WorkerResult:
     """One worker: repair ``targets`` on a private copy of the run.
 
     Module-level so it pickles for :class:`ProcessPoolExecutor`; also
-    called directly in inline mode.
+    called directly in inline mode.  ``payload`` is the 5-tuple built
+    by :func:`parallel_repair` plus the dispatch extras appended by
+    :func:`_run_partitions`: the kill verdict, the live-bus queue (or
+    ``None``) and the worker id.
     """
     import random
 
@@ -94,23 +98,39 @@ def _run_worker(payload) -> WorkerResult:
     from repro.eco.patch import Patch
 
     work, spec, config, failing, targets = payload[:5]
-    if len(payload) > 5 and payload[5]:
-        # the dispatcher observed an armed SITE_WORKER fault for this
-        # task: die the way a real crashed worker would.  Inline mode
-        # has no process to kill, so it raises the unified death signal
-        # the supervisor maps real deaths onto.
-        if os.environ.get("REPRO_ECO_JOBS_INLINE") == "1":
-            raise WorkerDiedError(
-                f"fault injection: worker for {','.join(targets)} killed")
-        os._exit(3)
+    kill = len(payload) > 5 and bool(payload[5])
+    bus_queue = payload[6] if len(payload) > 6 else None
+    worker_id = (payload[7] if len(payload) > 7
+                 else ",".join(targets))
     engine = SysEco(config)
-    trace = Trace(name=f"worker:{','.join(targets)}")
+    trace = Trace(name=f"worker:{worker_id}")
     run = RunSupervisor.from_config(config, trace=trace)
     trace.set_counters(run.counters)
+    publisher = None
+    if bus_queue is not None:
+        publisher = WorkerPublisher(bus_queue, worker_id,
+                                    counters=run.counters)
+        trace.listener = publisher
+        publisher.heartbeat(force=True)
     rng = random.Random(config.seed)
     patch = Patch()
     per_output: Dict[str, str] = {}
     result = WorkerResult(targets=tuple(targets))
+    if kill:
+        # the dispatcher observed an armed SITE_WORKER fault for this
+        # task: open the worker span and stream it (so the chaos tests
+        # can assert that *pre-death* telemetry survives), then die the
+        # way a real crashed worker would.  Inline mode has no process
+        # to kill, so it raises the unified death signal the supervisor
+        # maps real deaths onto.
+        trace.span("eco.worker", targets=",".join(targets),
+                   failing=len(failing))
+        if publisher is not None:
+            publisher.heartbeat(force=True)
+        if os.environ.get("REPRO_ECO_JOBS_INLINE") == "1":
+            raise WorkerDiedError(
+                f"fault injection: worker for {','.join(targets)} killed")
+        os._exit(3)
     try:
         with trace.span("eco.worker", targets=",".join(targets),
                         failing=len(failing)):
@@ -126,6 +146,8 @@ def _run_worker(payload) -> WorkerResult:
     result.records = trace.records()
     result.degraded = run.degraded
     result.degrade_reason = run.degrade_reason
+    if publisher is not None:
+        publisher.close()
     return result
 
 
@@ -178,14 +200,16 @@ def _heartbeat_timeout(run: RunSupervisor) -> Optional[float]:
 
 
 def _dispatch_pool(payloads: List[tuple], pending: List[int],
-                   marked: Dict[int, bool], run: RunSupervisor,
+                   extras: Dict[int, tuple], run: RunSupervisor,
                    ) -> Tuple[Dict[int, WorkerResult], Dict[int, str]]:
     """Run one round of partitions in real processes.
 
     One single-worker executor per partition, so one worker's death
     breaks only its own future — innocent partitions keep their
-    results.  Returns ``(outcomes, deaths)`` keyed by partition index;
-    a partition appears in exactly one of the two.
+    results.  ``extras[i]`` is the per-dispatch payload tail (kill
+    verdict, live-bus queue, worker id).  Returns ``(outcomes,
+    deaths)`` keyed by partition index; a partition appears in exactly
+    one of the two.
     """
     import concurrent.futures as cf
     from concurrent.futures import ProcessPoolExecutor
@@ -200,7 +224,7 @@ def _dispatch_pool(payloads: List[tuple], pending: List[int],
             for i in pending:
                 executors[i] = ProcessPoolExecutor(max_workers=1)
                 futures[i] = executors[i].submit(
-                    _run_worker, payloads[i] + (marked[i],))
+                    _run_worker, payloads[i] + extras[i])
         except (OSError, ImportError) as exc:
             raise _PoolUnavailable(str(exc)) from exc
         for i in pending:
@@ -224,42 +248,65 @@ def _dispatch_pool(payloads: List[tuple], pending: List[int],
     return outcomes, deaths
 
 
+def _worker_id(targets: Sequence[str], attempt: int) -> str:
+    return f"{','.join(targets)}@{attempt}"
+
+
 def _run_partitions(payloads: List[tuple], run: RunSupervisor,
                     policy: RetryPolicy, inline: bool,
+                    bus: Optional[LiveBus] = None,
+                    aggregator: Optional[LiveAggregator] = None,
                     ) -> List[Optional[WorkerResult]]:
     """Supervised execution of every partition, with retry/quarantine.
 
     Returns one :class:`WorkerResult` per payload, or ``None`` at the
     indices whose partition was quarantined.  Raises
     :class:`_PoolUnavailable` when process pools cannot run at all.
+
+    With a live ``bus``/``aggregator``, every dispatch streams its
+    telemetry under a unique worker id; on a death the aggregator's
+    buffered partial spans are grafted into the main trace and the last
+    streamed counter snapshot is charged via
+    :meth:`RunSupervisor.absorb_worker` — so quarantined partitions
+    leave their pre-death telemetry in the run record.  Workers that
+    return normally have their live buffer discarded (the shipped
+    records absorbed by the caller are authoritative).
     """
     n = len(payloads)
     results: List[Optional[WorkerResult]] = [None] * n
     failures = [0] * n
     pending = list(range(n))
+    bus_queue = bus.queue if bus is not None else None
     while pending:
         # observe the fault site at dispatch time, in the main process
         # (the injector's counters cannot cross a process boundary);
         # the verdict rides into the worker payload
-        marked: Dict[int, bool] = {}
+        extras: Dict[int, tuple] = {}
+        worker_ids: Dict[int, str] = {}
         for i in pending:
             fault = run.injector.observe(SITE_WORKER)
-            marked[i] = fault is not None and fault.payload == FAULT_KILL
+            marked = fault is not None and fault.payload == FAULT_KILL
+            worker_ids[i] = _worker_id(payloads[i][4], failures[i] + 1)
+            extras[i] = (marked, bus_queue, worker_ids[i])
         deaths: Dict[int, str] = {}
         if inline:
             outcomes: Dict[int, WorkerResult] = {}
             for i in pending:
                 try:
-                    outcomes[i] = _run_worker(payloads[i] + (marked[i],))
+                    outcomes[i] = _run_worker(payloads[i] + extras[i])
                 except WorkerDiedError as exc:
                     deaths[i] = str(exc)
         else:
             outcomes, deaths = _dispatch_pool(payloads, pending,
-                                              marked, run)
+                                              extras, run)
+        if aggregator is not None:
+            aggregator.pump()
         retry: List[int] = []
         for i in pending:
             if i not in deaths:
                 results[i] = outcomes[i]
+                if aggregator is not None:
+                    aggregator.discard(worker_ids[i])
                 continue
             failures[i] += 1
             targets = payloads[i][4]
@@ -268,6 +315,10 @@ def _run_partitions(payloads: List[tuple], run: RunSupervisor,
                             deaths=failures[i], cause=deaths[i])
             logger.warning("worker for %s died (%d): %s",
                            ",".join(targets), failures[i], deaths[i])
+            if aggregator is not None:
+                partial = aggregator.flush_dead(worker_ids[i])
+                if partial:
+                    run.absorb_worker(partial, degraded=False)
             reason = None
             if policy.allows(failures[i]):
                 delay = policy.sleep_within_budget(failures[i],
@@ -367,8 +418,15 @@ def parallel_repair(engine, work: Circuit, spec: Circuit,
                          seed=config.seed)
 
     inline = os.environ.get("REPRO_ECO_JOBS_INLINE") == "1"
+    bus = aggregator = None
+    if run.trace.enabled:
+        bus = LiveBus.create(inline)
+        if bus is not None:
+            aggregator = LiveAggregator(
+                run.trace, bus, registry=run.trace.metrics).start()
     try:
-        supervised = _run_partitions(payloads, run, policy, inline)
+        supervised = _run_partitions(payloads, run, policy, inline,
+                                     bus=bus, aggregator=aggregator)
     except _PoolUnavailable as exc:
         # no process pool available (restricted environments):
         # leave everything to the caller's sequential loop
@@ -376,6 +434,11 @@ def parallel_repair(engine, work: Circuit, spec: Circuit,
                        "falling back to sequential", exc)
         run.trace.event("eco.parallel_fallback", reason=str(exc))
         return work, failing
+    finally:
+        if aggregator is not None:
+            aggregator.stop()
+        if bus is not None:
+            bus.close()
     results = [r for r in supervised if r is not None]
 
     strict_error: Optional[str] = None

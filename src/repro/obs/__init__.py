@@ -40,7 +40,24 @@ from repro.obs.export import (
     write_jsonl,
     write_prometheus,
 )
+from repro.obs.live import LiveAggregator, LiveBus, WorkerPublisher
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    SIZE_BUCKETS,
+    SPAN_HISTOGRAMS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    PrometheusParseError,
+    get_registry,
+    histogram_percentiles,
+    log_buckets,
+    parse_prometheus_text,
+    render_prometheus,
+)
 from repro.obs.sampler import RunSampler, maybe_sampler
+from repro.obs.serve import MetricsServer, maybe_serve
 from repro.obs.store import (
     DEFAULT_STORE_DIR,
     MetricDelta,
@@ -79,6 +96,24 @@ __all__ = [
     "write_chrome",
     "write_jsonl",
     "write_prometheus",
+    "LiveAggregator",
+    "LiveBus",
+    "WorkerPublisher",
+    "LATENCY_BUCKETS",
+    "SIZE_BUCKETS",
+    "SPAN_HISTOGRAMS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PrometheusParseError",
+    "get_registry",
+    "histogram_percentiles",
+    "log_buckets",
+    "parse_prometheus_text",
+    "render_prometheus",
+    "MetricsServer",
+    "maybe_serve",
     "RunSampler",
     "maybe_sampler",
     "DEFAULT_STORE_DIR",

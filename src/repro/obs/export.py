@@ -148,8 +148,21 @@ def sanitize_metric_name(name: str) -> str:
     return cleaned
 
 
-def prometheus_text(trace_or_records) -> str:
-    """Per-phase and per-run metrics in Prometheus exposition format."""
+def prometheus_text(trace_or_records, registry=None) -> str:
+    """Per-phase and per-run metrics in Prometheus exposition format.
+
+    With a :class:`~repro.obs.metrics.MetricsRegistry` (passed
+    explicitly, or found on a live trace's ``metrics`` attribute) the
+    payload leads with the registry's series — labeled counters,
+    gauges and full histogram ``_bucket``/``_sum``/``_count`` families
+    — followed by the per-phase snapshot derived from the trace.
+    """
+    if registry is None:
+        registry = getattr(trace_or_records, "metrics", None)
+    prefix = ""
+    if registry is not None:
+        from repro.obs.metrics import render_prometheus
+        prefix = render_prometheus(registry)
     records = _records_of(trace_or_records)
     summary = summarize(records)
 
@@ -208,11 +221,12 @@ def prometheus_text(trace_or_records) -> str:
              "final RunCounters values of the run",
              [((("counter", k),), v)
               for k, v in sorted(summary.counters.items())])
-    return "\n".join(lines) + "\n"
+    return prefix + "\n".join(lines) + "\n"
 
 
-def write_prometheus(trace_or_records, path: str) -> None:
-    atomic_write_text(path, prometheus_text(trace_or_records))
+def write_prometheus(trace_or_records, path: str, registry=None) -> None:
+    atomic_write_text(path, prometheus_text(trace_or_records,
+                                            registry=registry))
 
 
 # ----------------------------------------------------------------------

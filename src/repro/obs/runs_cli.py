@@ -66,6 +66,12 @@ def _format_list(entries: List[Dict[str, Any]], now_s: float) -> str:
     return "\n".join(lines)
 
 
+def _fmt_latency(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.2f}s"
+    return f"{value * 1000:.1f}ms"
+
+
 def _format_show(record: RunRecord) -> str:
     lines = [
         f"run      : {record.run_id}",
@@ -105,6 +111,20 @@ def _format_show(record: RunRecord) -> str:
             f"samples  : {len(record.samples)} obs.sample points, "
             f"bdd_nodes {first.get('bdd_nodes', 0)} -> "
             f"{last.get('bdd_nodes', 0)}")
+    populated = {name: snap for name, snap
+                 in sorted(record.histograms.items())
+                 if snap.get("count")}
+    if populated:
+        lines.append(f"{'histogram':<32} {'n':>6} {'p50':>10} "
+                     f"{'p95':>10} {'p99':>10}")
+        for name, snap in populated.items():
+            unit = (_fmt_latency if name.endswith("_seconds")
+                    else lambda v: f"{v:g}")
+            lines.append(
+                f"{name:<32} {snap['count']:>6} "
+                f"{unit(float(snap.get('p50', 0))):>10} "
+                f"{unit(float(snap.get('p95', 0))):>10} "
+                f"{unit(float(snap.get('p99', 0))):>10}")
     if record.events:
         lines.append("events   : " + ", ".join(
             f"{k}={v}" for k, v in sorted(record.events.items())))
@@ -173,7 +193,8 @@ def _cmd_regress(store: RunStore, args: argparse.Namespace) -> int:
     thresholds = RegressionThresholds(
         wall_pct=args.wall_pct, wall_floor_s=args.wall_floor,
         sat_pct=args.sat_pct, sat_floor=args.sat_floor,
-        bdd_pct=args.bdd_pct, bdd_floor=args.bdd_floor)
+        bdd_pct=args.bdd_pct, bdd_floor=args.bdd_floor,
+        p95_pct=args.p95_pct, p95_floor_s=args.p95_floor)
     regressions = check_regressions(baseline, current, thresholds)
     if args.json:
         print(json.dumps({
@@ -273,6 +294,12 @@ def add_runs_arguments(parser: argparse.ArgumentParser) -> None:
                    help="BDD-node noise threshold in percent")
     p.add_argument("--bdd-floor", type=int, default=1000,
                    help="absolute BDD-node noise floor")
+    p.add_argument("--p95-pct", type=float, default=50.0,
+                   help="latency-histogram p95 noise threshold in "
+                        "percent")
+    p.add_argument("--p95-floor", type=float, default=0.05,
+                   metavar="SECONDS",
+                   help="absolute p95 latency noise floor")
     p.add_argument("--json", action="store_true")
     p.set_defaults(runs_func=_cmd_regress)
 

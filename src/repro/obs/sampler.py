@@ -57,6 +57,9 @@ class RunSampler:
         interval_s: seconds between samples; ``0`` disables the thread
             (only the start/stop snapshots are taken).
         stall_window_s: span-progress silence that counts as a stall.
+        gauge_hook: optional callable invoked with the trace's metrics
+            registry on every sample — the run supervisor publishes
+            its budget/quarantine heartbeat gauges through this.
         clock: monotonic time source (injectable for tests).
         trace_malloc: start ``tracemalloc`` for the duration of the run
             and record the traced-memory peak per sample (KiB).  When
@@ -68,11 +71,13 @@ class RunSampler:
                  bdd_stats: Optional[Callable[[], Dict[str, int]]] = None,
                  interval_s: float = 0.05,
                  stall_window_s: float = 30.0,
+                 gauge_hook: Optional[Callable[[Any], None]] = None,
                  clock: Callable[[], float] = time.monotonic,
                  trace_malloc: bool = False):
         self.trace = trace
         self.counters = counters
         self.bdd_stats = bdd_stats
+        self.gauge_hook = gauge_hook
         self.interval_s = max(0.0, float(interval_s))
         self.stall_window_s = float(stall_window_s)
         self._clock = clock
@@ -136,7 +141,14 @@ class RunSampler:
         self._check_stall()
 
     def sample(self) -> None:
-        """Emit one ``obs.sample`` event with the current telemetry."""
+        """Emit one ``obs.sample`` event with the current telemetry.
+
+        When the trace carries a
+        :class:`~repro.obs.metrics.MetricsRegistry`, each tick also
+        syncs the monotone counter totals into labeled counter series
+        and the live BDD/progress values into gauges, so ``/metrics``
+        scrapes see the same timeline the trace records.
+        """
         self._seq += 1
         tags: Dict[str, Any] = {"seq": self._seq}
         if self.counters is not None:
@@ -150,6 +162,30 @@ class RunSampler:
             tags["mem_kib"] = current // 1024
             tags["mem_peak_kib"] = peak // 1024
         self._emit(SAMPLE_EVENT, tags)
+        self._sync_registry(tags)
+
+    def _sync_registry(self, tags: Dict[str, Any]) -> None:
+        registry = getattr(self.trace, "metrics", None)
+        if registry is None:
+            return
+        if self.counters is not None:
+            registry.sync_counters(self.counters.as_dict())
+        if "bdd_nodes" in tags:
+            registry.gauge("repro_bdd_live_nodes",
+                           help="cumulative BDD nodes incl. live sessions"
+                           ).set(tags["bdd_nodes"])
+        if self.gauge_hook is not None:
+            try:
+                self.gauge_hook(registry)
+            except Exception:  # a gauge must never take the tick down
+                pass
+        if "mem_peak_kib" in tags:
+            registry.gauge("repro_mem_peak_kib",
+                           help="tracemalloc peak of the current run (KiB)"
+                           ).set(tags["mem_peak_kib"])
+        registry.gauge("repro_trace_progress",
+                       help="monotone span-activity counter"
+                       ).set(self.trace.progress)
 
     def _check_stall(self) -> None:
         now = self._clock()
@@ -158,16 +194,30 @@ class RunSampler:
             self._last_progress = progress
             self._last_change = now
             self._stalled = False  # re-arm once the run moves again
+            self._stall_gauge(0)
             return
         idle = now - self._last_change
         if idle >= self.stall_window_s and not self._stalled:
             self._stalled = True
+            self._stall_gauge(1)
             self._emit(STALL_EVENT, {
                 "idle_s": round(idle, 3),
                 "window_s": self.stall_window_s,
                 "progress": progress,
                 "hint": STALL_HINT,
             })
+
+    @property
+    def stalled(self) -> bool:
+        """Current stall verdict (``/healthz`` reads this)."""
+        return self._stalled
+
+    def _stall_gauge(self, value: int) -> None:
+        registry = getattr(self.trace, "metrics", None)
+        if registry is not None:
+            registry.gauge("repro_run_stalled",
+                           help="1 while the stall detector is tripped"
+                           ).set(value)
 
     def _emit(self, name: str, tags: Dict[str, Any]) -> None:
         # the tick thread races the engine's span stack; losing one

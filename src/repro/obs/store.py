@@ -88,6 +88,10 @@ class RunRecord:
     events: Dict[str, int] = field(default_factory=dict)
     lint: Dict[str, Any] = field(default_factory=dict)
     resolution: Dict[str, int] = field(default_factory=dict)
+    #: per-family histogram snapshots (count / sum / cumulative buckets
+    #: / derived p50-p95-p99) from the run's metrics registry — the
+    #: substrate of the tail-latency regression gate
+    histograms: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     tags: Dict[str, Any] = field(default_factory=dict)
     version: int = RECORD_VERSION
     extra: Dict[str, Any] = field(default_factory=dict)
@@ -164,6 +168,28 @@ def _downsample(samples: List[Dict[str, Any]],
     return picked
 
 
+def _normalize_sample_ts(samples: List[Dict[str, Any]]
+                         ) -> List[Dict[str, Any]]:
+    """Rebase the timeline so the first sample is ``ts=0``.
+
+    Sample timestamps arrive relative to the *trace* epoch, which is
+    set at ``Trace`` construction — an arbitrary monotonic instant that
+    differs across processes and across how long the CLI fiddled before
+    the run started.  Rebasing to the first sample makes timelines
+    directly comparable in ``runs diff``.
+    """
+    if not samples:
+        return samples
+    t0 = min((s["ts"] for s in samples if s.get("ts") is not None),
+             default=None)
+    if t0 is None:
+        return samples
+    for sample in samples:
+        if sample.get("ts") is not None:
+            sample["ts"] = round(sample["ts"] - t0, 6)
+    return samples
+
+
 def _phase_rows(records: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
     """Flatten the trace summary tree into per-phase rows."""
     from repro.obs.summary import summarize
@@ -191,7 +217,8 @@ def record_from_result(result, trace=None, kind: str = "eco",
                        config: Optional[Any] = None,
                        outcome: Optional[str] = None,
                        tags: Optional[Dict[str, Any]] = None,
-                       run_id: Optional[str] = None) -> RunRecord:
+                       run_id: Optional[str] = None,
+                       metrics: Optional[Any] = None) -> RunRecord:
     """Build a :class:`RunRecord` from a ``RectificationResult``.
 
     ``trace`` (when the run was traced) supplies the per-phase summary,
@@ -202,6 +229,10 @@ def record_from_result(result, trace=None, kind: str = "eco",
     dict.  ``run_id`` pins the record to an identity the caller chose
     up front (journaled runs use the journal's id so ``--resume`` and
     the run record agree); omitted, a fresh id is generated.
+
+    When the trace carries a metrics registry (or ``metrics`` is given
+    explicitly), its per-family histogram snapshots are persisted so
+    ``repro runs diff/regress`` can gate on tail latency.
     """
     from repro.runtime.clock import now  # lazy: obs sits below runtime
 
@@ -219,6 +250,7 @@ def record_from_result(result, trace=None, kind: str = "eco",
     samples = [dict(rec.get("tags", {}), ts=rec.get("ts"))
                for rec in records
                if rec.get("type") == "event" and rec.get("name") == "obs.sample"]
+    samples = _normalize_sample_ts(samples)
     event_counts: Dict[str, int] = {}
     for rec in records:
         if rec.get("type") == "event":
@@ -243,6 +275,10 @@ def record_from_result(result, trace=None, kind: str = "eco",
     started_at = now() - float(getattr(result, "runtime_seconds", 0.0))
     screens = counters.get("lint_screens", 0)
     rejects = counters.get("lint_rejects", 0)
+    registry = metrics if metrics is not None else \
+        getattr(trace, "metrics", None)
+    histograms = (registry.histogram_snapshots()
+                  if registry is not None else {})
     record = RunRecord(
         run_id=run_id or new_run_id(started_at),
         kind=kind,
@@ -265,6 +301,7 @@ def record_from_result(result, trace=None, kind: str = "eco",
             "lint_reject_rate": (rejects / screens) if screens else 0.0,
         },
         resolution=resolution,
+        histograms=histograms,
         tags=dict(tags or {}),
     )
     return record
@@ -436,7 +473,8 @@ class MetricDelta:
 
 def diff_records(baseline: RunRecord,
                  current: RunRecord) -> List[MetricDelta]:
-    """Field-by-field metric deltas (wall time, then every counter)."""
+    """Field-by-field metric deltas (wall time, every counter, and the
+    p95 of every histogram family present in both records)."""
     deltas = [MetricDelta("wall_seconds", baseline.wall_seconds,
                           current.wall_seconds)]
     keys = sorted(set(baseline.counters) | set(current.counters))
@@ -445,6 +483,13 @@ def diff_records(baseline: RunRecord,
         cur = current.counters.get(key, 0)
         if base or cur:
             deltas.append(MetricDelta(f"counters.{key}", base, cur))
+    for family in sorted(set(baseline.histograms)
+                         & set(current.histograms)):
+        base = float(baseline.histograms[family].get("p95", 0.0))
+        cur = float(current.histograms[family].get("p95", 0.0))
+        if base or cur:
+            deltas.append(
+                MetricDelta(f"histograms.{family}.p95", base, cur))
     return deltas
 
 
@@ -459,6 +504,10 @@ class RegressionThresholds:
     sat_floor: int = 50
     bdd_pct: float = 10.0
     bdd_floor: int = 1000
+    #: tail-latency gate over persisted histogram p95s (``*_seconds``
+    #: families present in both records)
+    p95_pct: float = 50.0
+    p95_floor_s: float = 0.05
 
 
 @dataclass
@@ -510,6 +559,19 @@ def check_regressions(
                 f"counters.{key}", base, cur,
                 f"{label} {cur:.0f} vs baseline {base:.0f} "
                 f"(>{pct:.0f}% and >{floor:.0f} more)"))
+
+    for family in sorted(set(baseline.histograms)
+                         & set(current.histograms)):
+        if not family.endswith("_seconds"):
+            continue
+        base = float(baseline.histograms[family].get("p95", 0.0))
+        cur = float(current.histograms[family].get("p95", 0.0))
+        if _exceeds(base, cur, t.p95_pct, t.p95_floor_s):
+            found.append(Regression(
+                f"histograms.{family}.p95", base, cur,
+                f"{family} p95 {cur * 1000:.1f}ms vs baseline "
+                f"{base * 1000:.1f}ms (>{t.p95_pct:.0f}% and "
+                f">{t.p95_floor_s * 1000:.0f}ms slower)"))
 
     outcome_rank = {"ok": 0, "degraded": 1, "interrupted": 2, "failed": 2}
     if outcome_rank.get(current.outcome, 2) > \

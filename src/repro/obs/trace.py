@@ -112,15 +112,28 @@ class Trace:
     Args:
         name: run label (usually the implementation's name).
         clock: monotonic time source (injectable for tests).
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            when bound, every finished span is routed into its latency
+            histogram family (``sat.validate`` →
+            ``repro_sat_call_seconds``, ...) so ``/metrics`` and the
+            persisted ``RunRecord.histograms`` see live distributions.
     """
 
     enabled = True
 
     def __init__(self, name: str = "run",
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic,
+                 metrics=None):
         self.name = name
         self._clock = clock
         self.epoch = clock()
+        #: bound MetricsRegistry or None
+        self.metrics = metrics
+        #: optional live listener (``span_open(span)`` /
+        #: ``span_close(span)``) — parallel workers bind a
+        #: :class:`~repro.obs.live.WorkerPublisher` here to stream
+        #: span activity to the supervisor while they run
+        self.listener = None
         #: finished spans, in finish order
         self.spans: List[Span] = []
         self.events: List[Event] = []
@@ -150,6 +163,8 @@ class Trace:
         self._next_id += 1
         self.progress += 1
         self._stack.append(sp)
+        if self.listener is not None:
+            self.listener.span_open(sp)
         return sp
 
     def event(self, name: str, **tags: Any) -> None:
@@ -171,6 +186,10 @@ class Trace:
             pass
         self.progress += 1
         self.spans.append(span)
+        if self.metrics is not None:
+            self.metrics.observe_span(span.name, span.duration, span.tags)
+        if self.listener is not None:
+            self.listener.span_close(span)
 
     # ------------------------------------------------------------------
     def absorb(self, records: List[Dict[str, Any]],
@@ -288,6 +307,8 @@ class NullTrace:
     events: List[Event] = []
     wall_seconds = 0.0
     progress = 0
+    metrics = None
+    listener = None
 
     @property
     def meta(self) -> Dict[str, Any]:

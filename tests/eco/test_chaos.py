@@ -238,6 +238,45 @@ class TestWorkerChaos:
                    if how == "fallback-degraded") == 2
         assert check_equivalence(result.patched, spec).equivalent is True
 
+    def test_partial_telemetry_survives_quarantine(self):
+        """Live-streamed pre-death telemetry outlives the workers.
+
+        Both kill attempts open their ``eco.worker`` span and publish
+        it on the live bus before dying; the aggregator must graft
+        those as ``partial=True`` spans — attributed to the worker —
+        into the main trace alongside the ``output.quarantined``
+        events, and all of it must land in the persisted run record.
+        """
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.store import record_from_result
+
+        impl, spec = multi_bug_circuits(4)
+        injector = FaultInjector().arm(SITE_WORKER, (1, 3),
+                                       payload=FAULT_KILL)
+        trace = Trace(name="chaos", metrics=MetricsRegistry())
+        result = rectify(impl, spec,
+                         EcoConfig(num_samples=8, jobs=2,
+                                   retry_backoff_s=0.0),
+                         injector=injector, trace=trace)
+        assert result.counters.outputs_quarantined == 2
+
+        partial = [s for s in trace.spans if s.tags.get("partial")]
+        assert len(partial) == 2                 # one per killed worker
+        assert all(s.name == "eco.worker" for s in partial)
+        workers = {s.tags["worker"] for s in partial}
+        assert len(workers) == 2                 # attempt 1 and retry
+        assert len([e for e in trace.events
+                    if e.name == "worker.partial_telemetry"]) == 2
+        assert any(e.name == "output.quarantined" for e in trace.events)
+
+        record = record_from_result(result, trace=trace, name="chaos")
+        assert record.events.get("worker.partial_telemetry") == 2
+        assert record.events.get("output.quarantined", 0) >= 1
+        assert any("eco.worker" in row["phase"] for row in record.phases)
+        # surviving workers streamed their span closes into the live
+        # latency histograms, which persist too
+        assert "repro_sat_call_seconds" in record.histograms
+
     def test_worker_kill_then_host_kill_then_resume(self, tmp_path):
         """The full gauntlet: a worker dies and is retried, then the
         main process dies mid-journal, then the run resumes clean."""

@@ -1,0 +1,195 @@
+"""Live-bus telemetry: publisher, aggregator, graft reconciliation.
+
+Everything runs on the deterministic inline transport (a plain
+``queue.Queue``) with an injected clock; the multiprocessing manager
+path is exercised by the parallel-engine integration tests.
+"""
+
+import queue
+
+from repro.obs.live import (
+    HEARTBEAT_GAUGE,
+    WORKERS_GAUGE,
+    LiveAggregator,
+    LiveBus,
+    WorkerPublisher,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Trace
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 100.0
+
+    def __call__(self):
+        return self.t
+
+
+class FakeCounters:
+    def __init__(self, **totals):
+        self.totals = totals
+
+    def as_dict(self):
+        return dict(self.totals)
+
+
+def make_pair(registry=None):
+    """A worker trace publishing onto a bus an aggregator consumes."""
+    clock = FakeClock()
+    bus = LiveBus.create(inline=True)
+    counters = FakeCounters()
+    publisher = WorkerPublisher(bus.queue, "o1@1", counters=counters,
+                                clock=clock)
+    worker_trace = Trace(name="worker", clock=clock)
+    worker_trace.listener = publisher
+    main = Trace(name="main", clock=clock)
+    aggregator = LiveAggregator(main, bus, registry=registry, clock=clock)
+    return clock, counters, worker_trace, main, aggregator
+
+
+class TestWorkerPublisher:
+    def test_span_lifecycle_is_published(self):
+        _, _, worker_trace, _, aggregator = make_pair()
+        with worker_trace.span("sat.validate", result="eq"):
+            pass
+        messages = aggregator.bus.drain()
+        kinds = [m["kind"] for m in messages]
+        assert kinds.count("span_open") == 1
+        assert kinds.count("span_close") == 1
+        close = next(m for m in messages if m["kind"] == "span_close")
+        assert close["worker"] == "o1@1"
+        assert close["record"]["name"] == "sat.validate"
+        assert close["record"]["tags"] == {"result": "eq"}
+
+    def test_heartbeats_are_throttled(self):
+        clock, counters, worker_trace, _, aggregator = make_pair()
+        counters.totals = {"sat_validations": 3, "zero": 0}
+        publisher = worker_trace.listener
+        publisher.heartbeat(force=True)
+        publisher.heartbeat()                  # same instant: suppressed
+        clock.t += 1.0
+        publisher.heartbeat()
+        beats = [m for m in aggregator.bus.drain()
+                 if m["kind"] == "heartbeat"]
+        assert len(beats) == 2
+        assert beats[-1]["counters"] == {"sat_validations": 3}
+
+    def test_close_flushes_then_says_bye(self):
+        _, _, worker_trace, _, aggregator = make_pair()
+        worker_trace.listener.close()
+        kinds = [m["kind"] for m in aggregator.bus.drain()]
+        assert kinds == ["heartbeat", "bye"]
+
+    def test_broken_queue_never_raises(self):
+        class Broken:
+            def put_nowait(self, message):
+                raise BrokenPipeError
+
+        publisher = WorkerPublisher(Broken(), "w", clock=FakeClock())
+        publisher.heartbeat(force=True)
+        publisher.close()
+
+
+class TestLiveAggregator:
+    def test_streamed_close_feeds_the_registry(self):
+        registry = MetricsRegistry()
+        _, _, worker_trace, _, aggregator = make_pair(registry)
+        with worker_trace.span("sat.validate"):
+            pass
+        aggregator.pump()
+        (series,) = registry.series("repro_sat_call_seconds")
+        assert series.count == 1
+
+    def test_heartbeat_updates_gauges(self):
+        registry = MetricsRegistry()
+        clock, counters, worker_trace, _, aggregator = make_pair(registry)
+        counters.totals = {"plan_evals": 5}
+        worker_trace.listener.heartbeat(force=True)
+        aggregator.pump()
+        (workers,) = registry.series(WORKERS_GAUGE)
+        assert workers.value == 1
+        (beat,) = registry.series(HEARTBEAT_GAUGE)
+        assert beat.value == clock.t
+
+    def test_discard_drops_the_buffer(self):
+        """A worker that returns normally grafts via its shipped
+        records; the live buffer must vanish without touching the main
+        trace."""
+        _, _, worker_trace, main, aggregator = make_pair()
+        with worker_trace.span("eco.worker"):
+            pass
+        aggregator.pump()
+        aggregator.discard("o1@1")
+        assert aggregator.snapshot() == {}
+        assert main.spans == []
+        assert aggregator.flush_dead("o1@1") == {}
+
+    def test_flush_dead_grafts_closed_and_synthesizes_open(self):
+        registry = MetricsRegistry()
+        clock, counters, worker_trace, main, aggregator = \
+            make_pair(registry)
+        counters.totals = {"sat_conflicts_spent": 40, "plan_evals": 7}
+        outer = worker_trace.span("eco.worker")
+        inner = worker_trace.span("sat.validate")
+        clock.t += 2.0
+        inner.finish()                               # dies after this
+        aggregator.pump()
+
+        totals = aggregator.flush_dead("o1@1")
+        assert totals == {"sat_conflicts_spent": 40, "plan_evals": 7}
+        names = {s.name: s for s in main.spans}
+        assert set(names) == {"eco.worker", "sat.validate"}
+        partial = names["eco.worker"]
+        assert partial.tags["partial"] is True
+        assert partial.tags["worker"] == "o1@1"
+        # runs to the last published span activity, not zero
+        assert partial.duration == 2.0
+        assert "partial" not in names["sat.validate"].tags
+        (event,) = [e for e in main.events
+                    if e.name == "worker.partial_telemetry"]
+        assert event.tags["worker"] == "o1@1"
+        assert event.tags["spans"] == 2
+        outer.finish()
+
+    def test_flush_dead_unknown_worker_is_empty(self):
+        _, _, _, main, aggregator = make_pair()
+        assert aggregator.flush_dead("nobody") == {}
+        assert main.spans == []
+
+    def test_background_thread_drains_without_pump(self):
+        registry = MetricsRegistry()
+        _, _, worker_trace, _, aggregator = make_pair(registry)
+        aggregator.start()
+        try:
+            with worker_trace.span("sat.validate"):
+                pass
+        finally:
+            aggregator.stop()
+        (series,) = registry.series("repro_sat_call_seconds")
+        assert series.count == 1
+
+    def test_snapshot_reports_worker_state(self):
+        clock, _, worker_trace, _, aggregator = make_pair()
+        worker_trace.span("eco.worker")                # left open
+        aggregator.pump()
+        clock.t += 3.0
+        snap = aggregator.snapshot()
+        assert snap["o1@1"]["open_spans"] == 1
+        assert snap["o1@1"]["closed_spans"] == 0
+        assert snap["o1@1"]["age_s"] == 3.0
+        assert snap["o1@1"]["gone"] is False
+
+
+class TestLiveBus:
+    def test_inline_bus_is_a_plain_queue(self):
+        bus = LiveBus.create(inline=True)
+        assert isinstance(bus.queue, queue.Queue)
+        bus.queue.put_nowait({"kind": "heartbeat", "worker": "w"})
+        assert len(bus.drain()) == 1
+        assert bus.drain() == []
+        bus.close()                                   # no-op, no error
+
+    def test_get_times_out_to_none(self):
+        bus = LiveBus.create(inline=True)
+        assert bus.get(timeout=0.01) is None

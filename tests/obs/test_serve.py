@@ -1,0 +1,113 @@
+"""The ``--serve-metrics`` HTTP endpoint: conformance and liveness."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, parse_prometheus_text
+from repro.obs.serve import MetricsServer, maybe_serve
+from repro.obs.trace import Trace
+
+
+def fetch(url):
+    with urllib.request.urlopen(url, timeout=2.0) as resp:
+        return resp.status, resp.headers.get("Content-Type"), \
+            resp.read().decode("utf-8")
+
+
+@pytest.fixture
+def registry():
+    reg = MetricsRegistry()
+    reg.counter("repro_counter_total", {"counter": "sat_validations"},
+                help="RunCounters totals").inc(9)
+    reg.histogram("repro_sat_call_seconds",
+                  help="SAT call latency").observe(0.004)
+    return reg
+
+
+class TestMetricsEndpoint:
+    def test_metrics_payload_is_conformant(self, registry):
+        with MetricsServer(registry) as server:
+            status, ctype, body = fetch(server.url + "/metrics")
+        assert status == 200
+        assert ctype.startswith("text/plain")
+        families = parse_prometheus_text(body)      # strict: raises
+        assert families["repro_sat_call_seconds"]["type"] == "histogram"
+        assert families["repro_counter_total"]["samples"][0][2] == 9.0
+
+    def test_metrics_include_trace_phase_snapshot(self, registry):
+        trace = Trace(name="t", metrics=registry)
+        with trace.span("eco.rectify"):
+            pass
+        with MetricsServer(registry, trace=trace) as server:
+            _, _, body = fetch(server.url + "/metrics")
+        families = parse_prometheus_text(body)
+        # registry families and trace-derived phase families coexist in
+        # one conformant payload
+        assert "repro_sat_call_seconds" in families
+        assert any(name.startswith("repro_phase_") or
+                   name.startswith("repro_run_") for name in families)
+
+    def test_unknown_path_is_404(self, registry):
+        with MetricsServer(registry) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                fetch(server.url + "/nope")
+            assert err.value.code == 404
+
+
+class TestHealthz:
+    def test_health_reports_phase_stack_and_progress(self, registry):
+        trace = Trace(name="demo", metrics=registry)
+        span = trace.span("eco.rectify")
+        inner = trace.span("eco.output", output="o1")
+        with MetricsServer(registry, trace=trace) as server:
+            _, ctype, body = fetch(server.url + "/healthz")
+        inner.finish()
+        span.finish()
+        assert ctype == "application/json"
+        doc = json.loads(body)
+        assert doc["status"] == "ok"
+        assert doc["run"] == "demo"
+        assert doc["phase"] == ["eco.rectify", "eco.output"]
+        assert doc["progress"] == 2
+        assert doc["stalled"] is False
+
+    def test_stall_event_flips_the_status(self, registry):
+        trace = Trace(name="demo")
+        trace.event("run.stalled", idle_s=99)
+        server = MetricsServer(registry, trace=trace)
+        assert server.health()["status"] == "stalled"
+        server.stop()
+
+    def test_health_provider_merges_and_degrades(self, registry):
+        server = MetricsServer(
+            registry, health_provider=lambda: {"outputs_done": 3})
+        assert server.health()["outputs_done"] == 3
+        server.health_provider = lambda: 1 // 0
+        doc = server.health()
+        assert "ZeroDivisionError" in doc["health_provider_error"]
+        server.stop()
+
+
+class TestMaybeServe:
+    def test_none_port_means_no_server(self, registry):
+        assert maybe_serve(registry, None) is None
+
+    def test_port_zero_binds_ephemeral(self, registry):
+        server = maybe_serve(registry, 0)
+        try:
+            assert server is not None
+            assert server.port != 0
+        finally:
+            server.stop()
+
+    def test_bind_failure_degrades_to_none(self, registry):
+        holder = MetricsServer(registry).start()
+        try:
+            # the exact port is taken; telemetry must not take the
+            # run down
+            assert maybe_serve(registry, holder.port) is None
+        finally:
+            holder.stop()

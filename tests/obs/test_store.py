@@ -259,11 +259,80 @@ class TestRegressions:
         assert check_regressions(base, cur) == []
 
 
+def seconds_histogram(p95, count=20):
+    return {"count": count, "sum": p95 * count, "p50": p95 / 2,
+            "p95": p95, "p99": p95 * 1.2,
+            "buckets": [[p95, count], ["+Inf", count]]}
+
+
+class TestHistogramPersistence:
+    def test_histograms_round_trip(self):
+        rec = make_record(histograms={
+            "repro_sat_call_seconds": seconds_histogram(0.01)})
+        back = RunRecord.from_json(json.loads(json.dumps(rec.to_json())))
+        assert back.histograms == rec.histograms
+
+    def test_diff_reports_p95_for_shared_families(self):
+        base = make_record(histograms={
+            "repro_sat_call_seconds": seconds_histogram(0.01),
+            "repro_only_base_seconds": seconds_histogram(0.01)})
+        cur = make_record(histograms={
+            "repro_sat_call_seconds": seconds_histogram(0.02),
+            "repro_only_cur_seconds": seconds_histogram(0.01)})
+        deltas = {d.metric: d for d in diff_records(base, cur)}
+        d = deltas["histograms.repro_sat_call_seconds.p95"]
+        assert d.delta == pytest.approx(0.01)
+        assert not any("only_base" in m or "only_cur" in m
+                       for m in deltas)
+
+    def test_p95_regression_needs_pct_and_floor(self):
+        base = make_record(histograms={
+            "repro_sat_call_seconds": seconds_histogram(0.10)})
+        # +40%: under the 50% threshold
+        cur = make_record(histograms={
+            "repro_sat_call_seconds": seconds_histogram(0.14)})
+        assert check_regressions(base, cur) == []
+        # +100% but only 20ms absolute: under the 50ms floor
+        small = make_record(histograms={
+            "repro_sat_call_seconds": seconds_histogram(0.02)})
+        worse = make_record(histograms={
+            "repro_sat_call_seconds": seconds_histogram(0.04)})
+        assert check_regressions(small, worse) == []
+        # both exceeded: regression, with a readable message
+        cur = make_record(histograms={
+            "repro_sat_call_seconds": seconds_histogram(0.30)})
+        (reg,) = check_regressions(base, cur)
+        assert reg.metric == "histograms.repro_sat_call_seconds.p95"
+        assert "300.0ms" in reg.message
+
+    def test_p95_gate_ignores_non_latency_families(self):
+        base = make_record(histograms={
+            "repro_bdd_session_nodes": seconds_histogram(100.0)})
+        cur = make_record(histograms={
+            "repro_bdd_session_nodes": seconds_histogram(9000.0)})
+        assert check_regressions(base, cur) == []
+
+    def test_p95_improvement_is_not_regression(self):
+        base = make_record(histograms={
+            "repro_sat_call_seconds": seconds_histogram(0.30)})
+        cur = make_record(histograms={
+            "repro_sat_call_seconds": seconds_histogram(0.01)})
+        assert check_regressions(base, cur) == []
+
+    def test_custom_p95_thresholds(self):
+        base = make_record(histograms={
+            "repro_sat_call_seconds": seconds_histogram(0.10)})
+        cur = make_record(histograms={
+            "repro_sat_call_seconds": seconds_histogram(0.14)})
+        tight = RegressionThresholds(p95_pct=10.0, p95_floor_s=0.01)
+        assert len(check_regressions(base, cur, tight)) == 1
+
+
 class TestRecordFromResult:
-    def run_case(self, injector=None):
+    def run_case(self, injector=None, metrics=None):
         impl, spec = example1_circuits(width=2)
         config = EcoConfig(num_samples=8)
-        trace = Trace(name=impl.name)
+        trace = Trace(name=impl.name, metrics=metrics)
         result = rectify(impl, spec, config, injector=injector,
                          trace=trace)
         return record_from_result(result, trace=trace, kind="test",
@@ -293,6 +362,25 @@ class TestRecordFromResult:
         base = self.run_case()
         regs = check_regressions(base, slow)
         assert any(r.metric == "wall_seconds" for r in regs)
+
+    def test_sample_timeline_is_run_relative(self):
+        """Sample timestamps rebase to the first sample, so records
+        from different processes (and different trace epochs) compare
+        like for like."""
+        rec = self.run_case()
+        assert len(rec.samples) >= 2
+        assert rec.samples[0]["ts"] == 0.0
+        ts = [s["ts"] for s in rec.samples]
+        assert ts == sorted(ts)
+
+    def test_trace_registry_histograms_persist(self):
+        from repro.obs.metrics import MetricsRegistry
+        rec = self.run_case(metrics=MetricsRegistry())
+        assert "repro_sat_call_seconds" in rec.histograms
+        snap = rec.histograms["repro_sat_call_seconds"]
+        assert snap["count"] > 0
+        assert snap["buckets"][-1][0] == "+Inf"
+        assert snap["p95"] >= snap["p50"] > 0
 
     def test_untraced_result_still_records(self):
         impl, spec = example1_circuits(width=2)

@@ -100,3 +100,74 @@ class TestFormatting:
         assert len(lines) == 2
         assert lines[0].startswith("eco.rectify")
         assert "sat-conf=9" in lines[1]
+
+
+class TestUncleanRuns:
+    """Rendering of runs that did not finish cleanly: degraded,
+    interrupted mid-span, and quarantined with partial worker spans."""
+
+    def test_degraded_run_names_the_reason(self):
+        text = format_summary(summarize(make_records()))
+        assert "DEGRADED" in text
+        assert "run.degraded reason=deadline" in text
+
+    def test_interrupted_run_renders_from_partial_records(self):
+        """An interrupt leaves enclosing spans unfinished: children
+        reference parent ids that never made it into the record list.
+        They must surface as roots, not crash the aggregation."""
+        records = [
+            {"type": "meta", "name": "interrupted", "counters": {}},
+            # parent id 1 (eco.rectify) never finished -> no record
+            {"type": "span", "id": 2, "parent": 1, "name": "eco.output",
+             "ts": 0.0, "dur": 1.0, "tags": {"output": "a"},
+             "counters": {"sat_conflicts_spent": 3}},
+            {"type": "span", "id": 3, "parent": 2, "name": "sat.validate",
+             "ts": 0.2, "dur": 0.4, "tags": {}, "counters": {}},
+        ]
+        summary = summarize(records)
+        (root,) = summary.roots
+        assert root.name == "eco.output"
+        assert [c.name for c in root.children] == ["sat.validate"]
+        text = format_summary(summary)
+        assert "eco.output" in text
+        assert "DEGRADED" not in text
+        # the unfinished output has no resolution yet
+        assert summary.hot_outputs[0].how == "?"
+
+    def quarantined_records(self):
+        return [
+            {"type": "meta", "name": "chaos", "degraded": True,
+             "counters": {"outputs_quarantined": 2,
+                          "worker_deaths": 2}},
+            {"type": "span", "id": 1, "parent": None,
+             "name": "eco.rectify", "ts": 0.0, "dur": 5.0, "tags": {},
+             "counters": {}},
+            # partial span grafted by LiveAggregator.flush_dead
+            {"type": "span", "id": 2, "parent": 1, "name": "eco.worker",
+             "ts": 0.5, "dur": 1.5,
+             "tags": {"partial": True, "worker": "o1,o2@1"},
+             "counters": {}},
+            {"type": "event", "name": "worker.partial_telemetry",
+             "ts": 2.0, "span": 1,
+             "tags": {"worker": "o1,o2@1", "spans": 1}},
+            {"type": "event", "name": "output.quarantined", "ts": 2.1,
+             "span": 1, "tags": {"port": "o1",
+                                 "reason": "worker died twice"}},
+        ]
+
+    def test_quarantined_run_keeps_partial_worker_spans(self):
+        summary = summarize(self.quarantined_records())
+        (root,) = summary.roots
+        (worker,) = root.children
+        assert worker.name == "eco.worker"
+        assert worker.seconds == 1.5
+        assert summary.degraded is True
+
+    def test_quarantined_run_formats_events_and_banner(self):
+        text = format_summary(summarize(self.quarantined_records()))
+        assert "DEGRADED" in text
+        assert "eco.worker" in text
+        assert "output.quarantined" in text
+        assert "reason=worker died twice" in text
+        assert "worker.partial_telemetry" in text
+        assert "outputs_quarantined=2" in text

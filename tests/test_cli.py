@@ -150,6 +150,72 @@ class TestObservability:
                 root.addHandler(h)
 
 
+class TestServeAndWatch:
+    def run_eco(self, eco_files, *extra):
+        impl_path, spec_path = eco_files
+        return main(["eco", "--impl", impl_path, "--spec", spec_path,
+                     "--samples", "8", *extra])
+
+    def test_serve_metrics_announces_endpoint(self, eco_files, capsys):
+        assert self.run_eco(eco_files, "--serve-metrics") == 0
+        captured = capsys.readouterr()
+        assert "serving metrics on http://127.0.0.1:" in captured.err
+        assert "verified: True" in captured.out
+
+    def test_metrics_file_is_conformant_with_histograms(
+            self, eco_files, tmp_path, capsys):
+        from repro.obs.metrics import parse_prometheus_text
+
+        metrics_path = str(tmp_path / "run.prom")
+        assert self.run_eco(eco_files, "--metrics", metrics_path) == 0
+        with open(metrics_path, encoding="utf-8") as fh:
+            families = parse_prometheus_text(fh.read())  # strict
+        hist = [n for n, f in families.items()
+                if f["type"] == "histogram"]
+        assert len(hist) >= 4
+        assert "repro_sat_call_seconds" in hist
+        # the per-phase exporter snapshot shares the payload
+        assert "repro_phase_seconds_total" in families
+
+    def test_watch_renders_a_recorded_run(self, eco_files, tmp_path,
+                                          capsys):
+        store = str(tmp_path / "runs")
+        assert self.run_eco(eco_files, "--store", store) == 0
+        capsys.readouterr()
+        assert main(["watch", "last", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "outcome=ok" in out
+        assert "phases:" in out
+        assert "latency percentiles:" in out
+        assert "repro_sat_call_seconds" in out
+
+    def test_watch_live_endpoint_once(self, capsys):
+        from repro.obs import MetricsServer, MetricsRegistry, Trace
+
+        registry = MetricsRegistry()
+        trace = Trace(name="demo", metrics=registry)
+        with trace.span("eco.rectify"):
+            with trace.span("sat.validate"):
+                pass
+        registry.sync_counters({"sat_validations": 4})
+        with MetricsServer(registry, trace=trace) as server:
+            assert main(["watch", "--url", server.url, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "run demo" in out
+        assert "sat_validations" in out
+        assert "repro_sat_call_seconds" in out
+
+    def test_watch_dead_endpoint_is_an_error(self, capsys):
+        assert main(["watch", "--url", "http://127.0.0.1:9",
+                     "--once"]) == 3
+        assert "cannot scrape" in capsys.readouterr().err
+
+    def test_watch_unknown_ref_is_cli_error(self, tmp_path, capsys):
+        store = str(tmp_path / "empty")
+        assert main(["watch", "nope", "--store", store]) == 3
+        assert "error" in capsys.readouterr().err
+
+
 class TestTables:
     def test_single_case_table1(self, capsys):
         assert main(["tables", "--table", "1", "--cases", "2"]) == 0
