@@ -132,6 +132,14 @@ class EcoConfig:
         trace_malloc: run ``tracemalloc`` for the duration of a traced
             run and record traced-memory peaks in each sample
             (measurable overhead; off by default).
+        sync_debug: enable the runtime lock-order/deadlock detector
+            (:mod:`repro.runtime.sync`) for the run: every sanctioned
+            lock participates in the global acquisition-order graph,
+            order inversions are logged with both stacks, and per-lock
+            wait times feed the ``repro_sync_lock_wait_seconds``
+            histogram on a traced run's registry.  Equivalent to
+            ``REPRO_SYNC_DEBUG=1``; off by default (the traced
+            wrappers cost a few hundred nanoseconds per acquisition).
     """
 
     num_samples: int = 16
@@ -172,6 +180,7 @@ class EcoConfig:
     sample_interval_s: float = 0.05
     stall_window_s: float = 30.0
     trace_malloc: bool = False
+    sync_debug: bool = False
 
     def __post_init__(self) -> None:
         for name in ("num_samples", "max_points", "max_candidate_pins",

@@ -122,6 +122,9 @@ class SysEco:
         trace = ensure_trace(trace)
         self._check_interfaces(impl, spec)
         config = self.config
+        if config.sync_debug:
+            from repro.runtime.sync import enable_sync_debug
+            enable_sync_debug(registry=trace.metrics)
         rng = random.Random(config.seed)
         run = RunSupervisor.from_config(config, injector=injector,
                                         trace=trace)

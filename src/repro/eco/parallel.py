@@ -215,14 +215,22 @@ def _dispatch_pool(payloads: List[tuple], pending: List[int],
     from concurrent.futures import ProcessPoolExecutor
     from concurrent.futures.process import BrokenProcessPool
 
+    from repro.runtime.sync import safe_mp_context
+
     outcomes: Dict[int, WorkerResult] = {}
     deaths: Dict[int, str] = {}
     executors: Dict[int, ProcessPoolExecutor] = {}
     futures: Dict[int, cf.Future] = {}
     try:
         try:
+            # an explicit start method: with the live-aggregator pump
+            # thread running, fork would snapshot held locks into the
+            # children (CC005); safe_mp_context keeps fork only while
+            # the process is single-threaded
+            mp_context = safe_mp_context()
             for i in pending:
-                executors[i] = ProcessPoolExecutor(max_workers=1)
+                executors[i] = ProcessPoolExecutor(
+                    max_workers=1, mp_context=mp_context)
                 futures[i] = executors[i].submit(
                     _run_worker, payloads[i] + extras[i])
         except (OSError, ImportError) as exc:
@@ -371,7 +379,11 @@ def parallel_verify(work: Circuit, spec: Circuit, jobs: int):
     else:
         try:
             from concurrent.futures import ProcessPoolExecutor
-            with ProcessPoolExecutor(max_workers=len(groups)) as pool:
+
+            from repro.runtime.sync import safe_mp_context
+            with ProcessPoolExecutor(
+                    max_workers=len(groups),
+                    mp_context=safe_mp_context()) as pool:
                 results = list(pool.map(_verify_worker, payloads))
         except (OSError, pickle.PicklingError, ImportError) as exc:
             logger.warning("parallel verification unavailable (%s); "

@@ -241,12 +241,17 @@ def package_root() -> str:
 
 
 def lint_sources(root: Optional[str] = None) -> LintReport:
-    """Run the invariant rules on every module under ``root``.
+    """Run the invariant + concurrency rules on every module under
+    ``root``.
 
     ``root`` defaults to the directory containing the ``repro``
     package itself, so ``repro lint --self`` checks whatever
-    installation is running it.
+    installation is running it.  Each module gets both the ``RI``
+    repo-invariant pass and the ``CC`` concurrency pass
+    (:mod:`repro.lint.concur_rules`).
     """
+    from repro.lint.concur_rules import lint_concur_source_text
+
     if root is None:
         root = package_root()
     root = os.path.abspath(root)
@@ -264,4 +269,6 @@ def lint_sources(root: Optional[str] = None) -> LintReport:
                 text = fh.read()
             report.merge(lint_source_text(text, module,
                                           display_path=module))
+            report.merge(lint_concur_source_text(text, module,
+                                                 display_path=module))
     return report

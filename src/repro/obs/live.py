@@ -33,15 +33,18 @@ span history.  This module closes both:
   spend.  Partial telemetry therefore survives ``output.quarantined``
   instead of vanishing.
 
-Stdlib only, like the rest of :mod:`repro.obs`.
+Stdlib only apart from :mod:`repro.runtime.sync` (itself pure
+stdlib), which supplies the sanctioned thread/lock/event factories so
+the pump thread participates in lock-order tracing.
 """
 
 from __future__ import annotations
 
 import queue as _queue
-import threading
 import time
 from typing import Any, Callable, Dict, List, Optional
+
+from repro.runtime.sync import make_event, make_lock, make_thread
 
 #: queue message kinds
 SPAN_OPEN = "span_open"
@@ -206,14 +209,18 @@ class LiveAggregator:
         self.registry = registry
         self._clock = clock
         self._workers: Dict[str, _WorkerState] = {}
-        self._lock = threading.Lock()
-        self._stop = threading.Event()
-        self._thread: Optional[threading.Thread] = None
+        #: workers already reconciled (discarded or flushed): late bus
+        #: messages from them must not resurrect a state entry, or a
+        #: racing pump could re-synthesize spans a flush already grafted
+        self._finalized: set = set()
+        self._lock = make_lock("live.aggregator")
+        self._stop = make_event("live.stop")
+        self._thread: Optional[Any] = None
 
     # ------------------------------------------------------------------
     def start(self) -> "LiveAggregator":
-        self._thread = threading.Thread(
-            target=self._run, name="repro-obs-live", daemon=True)
+        self._thread = make_thread(
+            self._run, name="repro-obs-live", daemon=True)
         self._thread.start()
         return self
 
@@ -249,6 +256,8 @@ class LiveAggregator:
         kind = message.get("kind")
         worker_id = str(message.get("worker"))
         with self._lock:
+            if worker_id in self._finalized:
+                return
             state = self._state(worker_id)
             state.last_seen = self._clock()
             if kind == SPAN_OPEN:
@@ -288,6 +297,7 @@ class LiveAggregator:
         it)."""
         with self._lock:
             self._workers.pop(worker_id, None)
+            self._finalized.add(worker_id)
             self._gauge_workers()
 
     def flush_dead(self, worker_id: str,
@@ -302,6 +312,7 @@ class LiveAggregator:
         """
         with self._lock:
             state = self._workers.pop(worker_id, None)
+            self._finalized.add(worker_id)
             self._gauge_workers()
         if state is None:
             return {}

@@ -29,18 +29,23 @@ format — ``# HELP``/``# TYPE`` for every family, histogram
 strict parser (used by the conformance tests, the CI smoke job and the
 ``repro watch`` live dashboard).
 
-Stdlib only, like the rest of :mod:`repro.obs`.
+Stdlib only apart from :mod:`repro.runtime.sync` (itself pure stdlib),
+which supplies the sanctioned lock factories: every series carries a
+small update lock so concurrent ``inc``/``observe`` calls from worker
+pump threads never lose increments (``x += y`` is not atomic), and
+under ``REPRO_SYNC_DEBUG`` all registry locks join the global
+lock-order graph.
 """
 
 from __future__ import annotations
 
 import math
 import re
-import threading
 from bisect import bisect_left
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.obs.export import sanitize_metric_name
+from repro.runtime.sync import make_lock
 
 LabelPairs = Tuple[Tuple[str, str], ...]
 
@@ -70,45 +75,52 @@ SIZE_BUCKETS = log_buckets(64, 4.0, 13)
 
 
 class Counter:
-    """One monotone counter series."""
+    """One monotone counter series (thread-safe updates)."""
 
-    __slots__ = ("name", "labels", "value")
+    __slots__ = ("name", "labels", "value", "_lock")
 
     def __init__(self, name: str, labels: LabelPairs):
         self.name = name
         self.labels = labels
         self.value = 0.0
+        self._lock = make_lock("metrics.series")
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError("counters only go up")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def set_to_at_least(self, total: float) -> None:
         """Raise the counter to ``total`` (sync from a monotone source
         like ``RunCounters``); never lowers it."""
-        if total > self.value:
-            self.value = total
+        with self._lock:
+            if total > self.value:
+                self.value = total
 
 
 class Gauge:
-    """One point-in-time gauge series."""
+    """One point-in-time gauge series (thread-safe updates)."""
 
-    __slots__ = ("name", "labels", "value")
+    __slots__ = ("name", "labels", "value", "_lock")
 
     def __init__(self, name: str, labels: LabelPairs):
         self.name = name
         self.labels = labels
         self.value = 0.0
+        self._lock = make_lock("metrics.series")
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
 
 class Histogram:
@@ -121,7 +133,7 @@ class Histogram:
     """
 
     __slots__ = ("name", "labels", "bounds", "bucket_counts",
-                 "count", "sum")
+                 "count", "sum", "_lock")
 
     def __init__(self, name: str, labels: LabelPairs,
                  bounds: Sequence[float]):
@@ -133,11 +145,13 @@ class Histogram:
         self.bucket_counts = [0] * (len(self.bounds) + 1)  # + overflow
         self.count = 0
         self.sum = 0.0
+        self._lock = make_lock("metrics.series")
 
     def observe(self, value: float) -> None:
-        self.bucket_counts[bisect_left(self.bounds, value)] += 1
-        self.count += 1
-        self.sum += value
+        with self._lock:
+            self.bucket_counts[bisect_left(self.bounds, value)] += 1
+            self.count += 1
+            self.sum += value
 
     # ------------------------------------------------------------------
     def percentile(self, q: float) -> float:
@@ -147,6 +161,10 @@ class Histogram:
         bucket reports its lower bound (the last finite boundary) — a
         conservative answer for an unbounded tail.  ``0.0`` when empty.
         """
+        with self._lock:
+            return self._percentile_locked(q)
+
+    def _percentile_locked(self, q: float) -> float:
         if self.count == 0:
             return 0.0
         rank = q * self.count
@@ -166,31 +184,46 @@ class Histogram:
 
     def snapshot(self) -> Dict[str, Any]:
         """Serializable state: count/sum/cumulative buckets + derived
-        percentiles — the form persisted into ``RunRecord.histograms``."""
-        cumulative = 0
-        buckets: List[List[Any]] = []
-        for bound, n in zip(self.bounds, self.bucket_counts):
-            cumulative += n
-            buckets.append([bound, cumulative])
-        buckets.append(["+Inf", self.count])
-        return {
-            "count": self.count,
-            "sum": round(self.sum, 9),
-            "buckets": buckets,
-            "p50": round(self.percentile(0.50), 9),
-            "p95": round(self.percentile(0.95), 9),
-            "p99": round(self.percentile(0.99), 9),
-        }
+        percentiles — the form persisted into ``RunRecord.histograms``.
+
+        Taken atomically under the series lock, so a scrape racing an
+        ``observe`` never sees a count/bucket mismatch.
+        """
+        with self._lock:
+            cumulative = 0
+            buckets: List[List[Any]] = []
+            for bound, n in zip(self.bounds, self.bucket_counts):
+                cumulative += n
+                buckets.append([bound, cumulative])
+            buckets.append(["+Inf", self.count])
+            return {
+                "count": self.count,
+                "sum": round(self.sum, 9),
+                "buckets": buckets,
+                "p50": round(self._percentile_locked(0.50), 9),
+                "p95": round(self._percentile_locked(0.95), 9),
+                "p99": round(self._percentile_locked(0.99), 9),
+            }
 
     def merge_counts(self, other: "Histogram") -> None:
-        """Fold another series' observations in (same bounds required)."""
-        if other.bounds != self.bounds:
+        """Fold another series' observations in (same bounds required).
+
+        The two locks are taken sequentially, never nested, so merging
+        cannot participate in a lock-order cycle.
+        """
+        with other._lock:
+            bounds = other.bounds
+            counts = list(other.bucket_counts)
+            count = other.count
+            total = other.sum
+        if bounds != self.bounds:
             raise ValueError("cannot merge histograms with different "
                              "bucket boundaries")
-        for i, n in enumerate(other.bucket_counts):
-            self.bucket_counts[i] += n
-        self.count += other.count
-        self.sum += other.sum
+        with self._lock:
+            for i, n in enumerate(counts):
+                self.bucket_counts[i] += n
+            self.count += count
+            self.sum += total
 
 
 # ----------------------------------------------------------------------
@@ -225,14 +258,17 @@ JOURNAL_APPEND_HISTOGRAM = ("repro_journal_append_seconds",
 class MetricsRegistry:
     """A named collection of metric families and their series.
 
-    Thread-safe for series *creation*; updates on an existing series
-    are plain float/int operations (the GIL makes those safe enough
-    for telemetry, and losing one increment to a race is acceptable
-    where corrupting the registry is not).
+    Thread-safe throughout: series creation is double-checked-locked
+    (the hot path is one unlocked dict hit; the slow path re-checks
+    under the registry lock, so a kind collision can never slip
+    through the lock-free read), every series update takes the series'
+    own lock (no lost increments), and the read paths copy under the
+    registry lock so a mid-run scrape never iterates a dict another
+    thread is growing.
     """
 
     def __init__(self):
-        self._lock = threading.Lock()
+        self._lock = make_lock("metrics.registry")
         #: family name -> (kind, help)
         self._families: Dict[str, Tuple[str, str]] = {}
         self._series: Dict[Tuple[str, LabelPairs], Any] = {}
@@ -315,12 +351,14 @@ class MetricsRegistry:
 
     # ------------------------------------------------------------------
     def families(self) -> Dict[str, Tuple[str, str]]:
-        return dict(self._families)
+        with self._lock:
+            return dict(self._families)
 
     def series(self, name: Optional[str] = None) -> List[Any]:
         name = sanitize_metric_name(name) if name else None
-        return [s for (n, _), s in sorted(self._series.items())
-                if name is None or n == name]
+        with self._lock:
+            items = sorted(self._series.items())
+        return [s for (n, _), s in items if name is None or n == name]
 
     def histogram_snapshots(self) -> Dict[str, Dict[str, Any]]:
         """Per-family snapshots with label series merged.
@@ -329,8 +367,10 @@ class MetricsRegistry:
         persists into ``RunRecord.histograms`` so ``repro runs
         diff/regress`` can gate on tail latency.
         """
+        with self._lock:
+            items = sorted(self._series.items())
         merged: Dict[str, Histogram] = {}
-        for (name, _), series in sorted(self._series.items()):
+        for (name, _), series in items:
             if not isinstance(series, Histogram):
                 continue
             base = merged.get(name)
@@ -397,19 +437,26 @@ def render_prometheus(registry: MetricsRegistry) -> str:
         for series in registry.series(name):
             labels = series.labels
             if kind == "histogram":
+                # one atomic read per series: a scrape racing observe()
+                # must never see bucket sums disagree with _count (the
+                # strict parser rejects exactly that)
+                with series._lock:
+                    bucket_counts = list(series.bucket_counts)
+                    count = series.count
+                    total = series.sum
                 cumulative = 0
-                for bound, n in zip(series.bounds, series.bucket_counts):
+                for bound, n in zip(series.bounds, bucket_counts):
                     cumulative += n
                     le = labels + (("le", _fmt_bound(bound)),)
                     lines.append(f"{name}_bucket{_labels_text(le)} "
                                  f"{cumulative}")
                 le = labels + (("le", "+Inf"),)
                 lines.append(f"{name}_bucket{_labels_text(le)} "
-                             f"{series.count}")
+                             f"{count}")
                 lines.append(f"{name}_sum{_labels_text(labels)} "
-                             f"{_fmt_value(series.sum)}")
+                             f"{_fmt_value(total)}")
                 lines.append(f"{name}_count{_labels_text(labels)} "
-                             f"{series.count}")
+                             f"{count}")
             else:
                 lines.append(f"{name}{_labels_text(labels)} "
                              f"{_fmt_value(series.value)}")

@@ -24,15 +24,18 @@ thread); with tracing on but ``interval_s=0`` the sampler degrades to
 two deterministic snapshots — one at :meth:`start`, one at
 :meth:`stop` — so every traced run still gets a (short) timeline.
 
-Stdlib only, like the rest of :mod:`repro.obs`.
+Stdlib only apart from :mod:`repro.runtime.sync` (itself pure
+stdlib), which supplies the sanctioned thread/event factories so the
+tick thread participates in lock-order tracing.
 """
 
 from __future__ import annotations
 
-import threading
 import time
 import tracemalloc
 from typing import Any, Callable, Dict, Optional
+
+from repro.runtime.sync import make_event, make_thread
 
 #: event kinds emitted by the sampler
 SAMPLE_EVENT = "obs.sample"
@@ -87,8 +90,8 @@ class RunSampler:
         self._stalled = False
         self._last_progress = -1
         self._last_change = clock()
-        self._stop = threading.Event()
-        self._thread: Optional[threading.Thread] = None
+        self._stop = make_event("sampler.stop")
+        self._thread: Optional[Any] = None
 
     # ------------------------------------------------------------------
     def start(self) -> "RunSampler":
@@ -99,8 +102,8 @@ class RunSampler:
         self._last_change = self._clock()
         self.sample()
         if self.interval_s > 0:
-            self._thread = threading.Thread(
-                target=self._run, name="repro-obs-sampler", daemon=True)
+            self._thread = make_thread(
+                self._run, name="repro-obs-sampler", daemon=True)
             self._thread.start()
         return self
 

@@ -19,18 +19,24 @@ port is on :attr:`MetricsServer.port` and in the startup log line.
 Request logging is routed to the ``repro.obs`` logger at DEBUG so a
 scrape loop cannot spam stderr.
 
-Stdlib only, like the rest of :mod:`repro.obs`.
+Shutdown is idempotent and leak-free: ``stop()`` may be called any
+number of times, closes the listening socket even when joining the
+serve thread raises mid-run, and the request threads are daemons — so
+two sequential runs can bind the same port.
+
+Stdlib only apart from :mod:`repro.runtime.sync` (itself pure
+stdlib), which supplies the sanctioned thread factory.
 """
 
 from __future__ import annotations
 
 import json
 import logging
-import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Dict, Optional
 
 from repro.obs.metrics import MetricsRegistry, render_prometheus
+from repro.runtime.sync import make_thread
 
 logger = logging.getLogger("repro.obs")
 
@@ -94,12 +100,13 @@ class MetricsServer:
         self._server = _Server((host, port), _Handler)
         self._server.owner = self
         self.host, self.port = self._server.server_address[:2]
-        self._thread: Optional[threading.Thread] = None
+        self._thread: Optional[Any] = None
+        self._stopped = False
 
     # ------------------------------------------------------------------
     def start(self) -> "MetricsServer":
-        self._thread = threading.Thread(
-            target=self._server.serve_forever,
+        self._thread = make_thread(
+            self._server.serve_forever,
             kwargs={"poll_interval": 0.1},
             name="repro-obs-serve", daemon=True)
         self._thread.start()
@@ -108,11 +115,23 @@ class MetricsServer:
         return self
 
     def stop(self) -> None:
+        """Tear the endpoint down; safe to call repeatedly.
+
+        The listening socket is closed in a ``finally`` so the port is
+        released even when the serve thread refuses to shut down (a
+        hung handler, a join timeout mid-exception) — a later run must
+        always be able to bind the same port.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
         thread, self._thread = self._thread, None
-        if thread is not None:
-            self._server.shutdown()
-            thread.join(timeout=5.0)
-        self._server.server_close()
+        try:
+            if thread is not None:
+                self._server.shutdown()
+                thread.join(timeout=5.0)
+        finally:
+            self._server.server_close()
 
     def __enter__(self) -> "MetricsServer":
         return self.start()

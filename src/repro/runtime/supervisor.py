@@ -35,6 +35,7 @@ from repro.runtime.faultinject import (
     SITE_BDD,
     SITE_SAT,
 )
+from repro.runtime.sync import make_rlock
 
 logger = logging.getLogger("repro.runtime")
 
@@ -83,6 +84,10 @@ class RunSupervisor:
         # escalation policy's totals are reported on top of these
         self._merged_escalations = 0
         self._merged_deescalations = 0
+        # guards the degradation/quarantine/absorb state, which the
+        # main loop and aggregator-driven paths can reach concurrently;
+        # reentrant because absorb_worker may call mark_degraded
+        self._state_lock = make_rlock("supervisor.state")
 
     # ------------------------------------------------------------------
     @classmethod
@@ -127,11 +132,13 @@ class RunSupervisor:
         self.budget.check_deadline()
 
     def mark_degraded(self, reason: str) -> None:
-        if not self.degraded:
+        with self._state_lock:
+            if self.degraded:
+                return
             self.degraded = True
             self.degrade_reason = reason
-            self.trace.event("run.degraded", reason=reason)
-            logger.warning("run degraded: %s", reason)
+        self.trace.event("run.degraded", reason=reason)
+        logger.warning("run degraded: %s", reason)
 
     def quarantine(self, port: str, reason: str) -> None:
         """Stop searching ``port``: its partition keeps killing workers.
@@ -142,11 +149,13 @@ class RunSupervisor:
         still reported degraded (a fallback forced by infrastructure
         failure, not by the search).
         """
-        if port not in self.quarantined:
+        with self._state_lock:
+            if port in self.quarantined:
+                return
             self.quarantined[port] = reason
             self.counters.outputs_quarantined += 1
-            self.trace.event("output.quarantined", port=port, reason=reason)
-            logger.warning("output %s quarantined: %s", port, reason)
+        self.trace.event("output.quarantined", port=port, reason=reason)
+        logger.warning("output %s quarantined: %s", port, reason)
 
     # ------------------------------------------------------------------
     # per-output attempt cap
@@ -360,27 +369,30 @@ class RunSupervisor:
         Adds every counter (escalation totals go through the merged
         base so later local assignments do not clobber them), charges
         the worker's actual SAT/BDD spend to the aggregate budget, and
-        propagates degradation.
+        propagates degradation.  Serialized under the supervisor state
+        lock: two worker results absorbed concurrently must not tear
+        the counter read-modify-writes.
         """
-        for name, value in counters.items():
-            if name not in self.counters or not value:
-                continue
-            if name == "sat_escalations":
-                self._merged_escalations += value
-            elif name == "sat_deescalations":
-                self._merged_deescalations += value
-            else:
-                setattr(self.counters, name,
-                        getattr(self.counters, name) + value)
-        self.counters.sat_escalations = (
-            self._merged_escalations + self.escalation.escalations)
-        self.counters.sat_deescalations = (
-            self._merged_deescalations + self.escalation.deescalations)
-        self.budget.charge_sat(counters.get("sat_conflicts_spent", 0))
-        self.budget.charge_bdd(counters.get("bdd_nodes_spent", 0))
-        self.counters.parallel_workers += 1
-        if degraded:
-            self.mark_degraded(degrade_reason or "worker degraded")
+        with self._state_lock:
+            for name, value in counters.items():
+                if name not in self.counters or not value:
+                    continue
+                if name == "sat_escalations":
+                    self._merged_escalations += value
+                elif name == "sat_deescalations":
+                    self._merged_deescalations += value
+                else:
+                    setattr(self.counters, name,
+                            getattr(self.counters, name) + value)
+            self.counters.sat_escalations = (
+                self._merged_escalations + self.escalation.escalations)
+            self.counters.sat_deescalations = (
+                self._merged_deescalations + self.escalation.deescalations)
+            self.budget.charge_sat(counters.get("sat_conflicts_spent", 0))
+            self.budget.charge_bdd(counters.get("bdd_nodes_spent", 0))
+            self.counters.parallel_workers += 1
+            if degraded:
+                self.mark_degraded(degrade_reason or "worker degraded")
 
     # ------------------------------------------------------------------
     def publish_gauges(self, registry) -> None:

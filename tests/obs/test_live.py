@@ -193,3 +193,76 @@ class TestLiveBus:
     def test_get_times_out_to_none(self):
         bus = LiveBus.create(inline=True)
         assert bus.get(timeout=0.01) is None
+
+
+class TestFlushDeadRaces:
+    """``flush_dead`` vs. the pump thread: the graft must happen at
+    most once however the two interleave (the PR's stress satellite)."""
+
+    def _open_message(self, i, worker="w1"):
+        return {"kind": "span_open", "worker": worker, "id": i,
+                "parent": None, "name": f"sat.validate{i % 3}",
+                "ts": float(i), "tags": {}}
+
+    def test_flush_dead_races_pump_thread(self):
+        from repro.runtime.sync import make_thread
+
+        for trial in range(10):
+            trace = Trace(name=f"stress-{trial}")
+            bus = LiveBus(queue.Queue())
+            agg = LiveAggregator(trace, bus).start()
+            opens = 30
+
+            def produce():
+                for i in range(1, opens + 1):
+                    bus.queue.put_nowait(self._open_message(i))
+
+            producer = make_thread(produce,
+                                   name=f"stress-producer-{trial}")
+            producer.start()
+            agg.flush_dead("w1")   # races the producer + pump thread
+            agg.flush_dead("w1")   # and reconciliation is idempotent
+            producer.join(timeout=10.0)
+            assert not producer.is_alive()
+            agg.stop()
+
+            partial_events = [e for e in trace.events
+                              if e.name == "worker.partial_telemetry"]
+            assert len(partial_events) <= 1
+            partial_ids = [sp.tags.get("worker")
+                           for sp in trace.spans
+                           if sp.tags.get("partial")]
+            assert len(partial_ids) <= opens
+            # late messages must not resurrect the flushed worker
+            assert "w1" not in agg.snapshot()
+
+    def test_finalized_worker_ignores_late_messages(self):
+        trace = Trace(name="late")
+        bus = LiveBus(queue.Queue())
+        agg = LiveAggregator(trace, bus)
+        bus.queue.put_nowait(self._open_message(1))
+        agg.pump()
+        flushed = agg.flush_dead("w1")
+        assert flushed == {}
+        spans_after_flush = len(trace.spans)
+        # a message that was in flight when the worker was declared
+        # dead arrives now: it must be dropped, not re-buffered
+        bus.queue.put_nowait(self._open_message(2))
+        agg.pump()
+        assert "w1" not in agg.snapshot()
+        assert agg.flush_dead("w1") == {}
+        assert len(trace.spans) == spans_after_flush
+
+    def test_retry_attempt_worker_ids_are_distinct(self):
+        # the engine keys workers as "<targets>@<attempt>", so a
+        # retried partition publishes under a fresh id and is not
+        # silenced by its dead predecessor's tombstone
+        trace = Trace(name="retry")
+        bus = LiveBus(queue.Queue())
+        agg = LiveAggregator(trace, bus)
+        bus.queue.put_nowait(self._open_message(1, worker="o1@0"))
+        agg.pump()
+        agg.flush_dead("o1@0")
+        bus.queue.put_nowait(self._open_message(2, worker="o1@1"))
+        agg.pump()
+        assert "o1@1" in agg.snapshot()

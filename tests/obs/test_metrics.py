@@ -303,3 +303,94 @@ class TestParserStrictness:
         samples = parse_prometheus_text(text)["repro_x"]["samples"]
         assert samples[0][2] == math.inf
         assert math.isnan(samples[1][2])
+
+
+class TestConcurrentRegistry:
+    """The registry hammer: the double-checked fast path must never
+    lose an update or hand out a mis-kinded series."""
+
+    def test_no_lost_increments_across_threads(self):
+        from repro.runtime.sync import make_thread
+
+        registry = MetricsRegistry()
+        workers, rounds = 8, 500
+
+        def hammer(wid):
+            counter = registry.counter("repro_hammer_total",
+                                       labels={"w": str(wid % 2)})
+            hist = registry.histogram("repro_hammer_seconds")
+            gauge = registry.gauge("repro_hammer_gauge")
+            for i in range(rounds):
+                counter.inc()
+                hist.observe(i * 1e-4)
+                gauge.set(float(i))
+
+        threads = [make_thread(hammer, name=f"hammer-{i}", args=(i,))
+                   for i in range(workers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert not any(t.is_alive() for t in threads)
+
+        total = sum(s.value
+                    for s in registry.series("repro_hammer_total"))
+        assert total == workers * rounds
+        hist = registry.histogram("repro_hammer_seconds")
+        assert hist.count == workers * rounds
+        assert sum(hist.bucket_counts) == workers * rounds
+
+    def test_fast_path_cannot_bypass_kind_check(self):
+        from repro.runtime.sync import make_thread
+
+        registry = MetricsRegistry()
+        outcomes = []
+
+        def register(kind):
+            try:
+                if kind == "counter":
+                    registry.counter("repro_kind_clash")
+                else:
+                    registry.gauge("repro_kind_clash")
+                outcomes.append(("ok", kind))
+            except ValueError:
+                outcomes.append(("raised", kind))
+
+        for trial in range(20):
+            registry = MetricsRegistry()
+            outcomes = []
+            pair = [make_thread(register, name=f"kind-{trial}-c",
+                                args=("counter",)),
+                    make_thread(register, name=f"kind-{trial}-g",
+                                args=("gauge",))]
+            for t in pair:
+                t.start()
+            for t in pair:
+                t.join(timeout=10.0)
+            verdicts = sorted(v for v, _ in outcomes)
+            assert verdicts == ["ok", "raised"], outcomes
+            assert len(registry.series("repro_kind_clash")) == 1
+
+    def test_render_is_atomic_against_observers(self):
+        from repro.runtime.sync import make_event, make_thread
+
+        registry = MetricsRegistry()
+        registry.histogram("repro_torn_seconds").observe(0.001)
+        stop = make_event("torn-stop")
+
+        def observe_forever():
+            hist = registry.histogram("repro_torn_seconds")
+            while not stop.is_set():
+                hist.observe(0.002)
+
+        writer = make_thread(observe_forever, name="torn-writer")
+        writer.start()
+        try:
+            for _ in range(50):
+                # the strict parser asserts +Inf == _count: a torn
+                # histogram read fails this round-trip
+                parse_prometheus_text(render_prometheus(registry))
+        finally:
+            stop.set()
+            writer.join(timeout=10.0)
+        assert not writer.is_alive()

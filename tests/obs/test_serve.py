@@ -111,3 +111,44 @@ class TestMaybeServe:
             assert maybe_serve(registry, holder.port) is None
         finally:
             holder.stop()
+
+
+class TestShutdown:
+    """Idempotent, leak-free teardown: the PR's port-rebind satellite."""
+
+    def test_stop_is_idempotent(self, registry):
+        server = MetricsServer(registry).start()
+        server.stop()
+        server.stop()
+        server.stop()  # any number of times, no raise
+
+    def test_stop_without_start_closes_socket(self, registry):
+        server = MetricsServer(registry)
+        port = server.port
+        server.stop()  # never started: must still release the socket
+        rebound = MetricsServer(registry, port=port)
+        rebound.stop()
+
+    def test_sequential_runs_bind_the_same_port(self, registry):
+        first = MetricsServer(registry).start()
+        port = first.port
+        status, _, _ = fetch(first.url + "/healthz")
+        assert status == 200
+        first.stop()
+
+        # the exact port the first run used must be free immediately
+        second = MetricsServer(registry, port=port).start()
+        try:
+            assert second.port == port
+            status, _, _ = fetch(second.url + "/metrics")
+            assert status == 200
+        finally:
+            second.stop()
+
+    def test_serve_thread_joined_on_stop(self, registry):
+        import threading
+
+        server = MetricsServer(registry).start()
+        server.stop()
+        assert not [t for t in threading.enumerate()
+                    if t.name == "repro-obs-serve" and t.is_alive()]
