@@ -1,9 +1,15 @@
 """Microbenchmarks of the performance machinery (docs/performance.md).
 
-Two hot paths, each timed against the legacy reference it replaced:
+Hot paths, each timed against the reference it replaced:
 
 * **simulation** — patterns/sec through the compiled multi-word plan
   vs the per-gate dictionary walk (forced via ``order=``);
+* **vector simulation** — patterns/sec through the numpy level-batched
+  kernel (``run_lanes``) vs the pure-Python plan interpreter on a
+  20k-gate DAG, interleaved min-of-N timing (skipped without numpy);
+* **SAT** — propagations/sec of the flat-arena solver on a pigeonhole
+  instance, plus the learned-clause reduction (mark + lazy unhook)
+  timed on a synthetic 20k-clause database;
 * **validation** — candidates/sec through the persistent incremental
   miter vs the copy-and-re-encode ``validate_rewire`` path, with a
   verdict-parity sanity check on every candidate.
@@ -12,12 +18,16 @@ The rendered table and JSON twin land in ``benchmarks/results/`` via
 the shared publisher, and a traced engine run (incremental validation
 on) is pushed into the run store so the CI perf-smoke job can gate
 wall time / SAT / outcome with ``repro runs regress --baseline``.
+``--quick`` shrinks every workload to CI-smoke size.
 """
 
 import random
 import time
 
+import pytest
+
 from repro.cec.equivalence import nonequivalent_outputs
+from repro.netlist import simd
 from repro.netlist.circuit import Pin
 from repro.netlist.simulate import (
     batch_mask,
@@ -26,6 +36,8 @@ from repro.netlist.simulate import (
     simulate_words,
 )
 from repro.netlist.traverse import topological_order
+from repro.sat.solver import Solver
+from repro.workloads.generators import random_dag
 from repro.eco.config import EcoConfig
 from repro.eco.incremental import IncrementalValidator
 from repro.eco.patch import RewireOp
@@ -97,6 +109,138 @@ def test_perf_simulation(benchmark, suite_cases, publish):
         f"patterns/s\n"
         f"  speedup       : {data['speedup']:.2f}x"), data=data)
     assert data["speedup"] > 1.0
+
+
+def test_perf_vector_sim(benchmark, publish, quick):
+    """Level-batched numpy kernel vs the pure-Python plan interpreter.
+
+    Both paths run interleaved and the minimum of N repeats is kept —
+    single-core steal-time noise otherwise dominates the ratio.  The
+    vector side is timed on the array path (``run_lanes``): that is
+    what the batched candidate screen consumes; the bignum conversion
+    of ``run`` is a separate, fixed cost.
+    """
+    if not simd.HAVE_NUMPY:
+        pytest.skip("numpy not installed (repro[perf])")
+    n_gates = 4000 if quick else 20000
+    repeats = 3 if quick else 5
+    width = 4
+    circuit = random_dag(n_inputs=64, n_gates=n_gates, n_outputs=32,
+                         seed=5)
+    rng = random.Random(7)
+    words = {n: 0 for n in circuit.inputs}
+    for r in range(width):
+        for name, word in random_patterns(circuit.inputs, rng).items():
+            words[name] |= word << (64 * r)
+    plan = compiled_plan(circuit)
+    mask = batch_mask(width)
+
+    def measure():
+        previous = simd.set_backend("python")
+        try:
+            python_s = vector_s = float("inf")
+            reference = None
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                reference = plan.run(words, mask=mask)
+                python_s = min(python_s, time.perf_counter() - t0)
+                t0 = time.perf_counter()
+                lanes = plan.run_lanes(words, width)
+                vector_s = min(vector_s, time.perf_counter() - t0)
+            # bit-identity spot check on the last repeat
+            for i in (0, len(reference) // 2, len(reference) - 1):
+                assert simd.lanes_to_int(lanes[i]) == reference[i]
+            return python_s, vector_s
+        finally:
+            simd.set_backend(previous)
+
+    python_s, vector_s = benchmark.pedantic(measure, rounds=1,
+                                            iterations=1)
+    patterns = width * 64
+    data = {
+        "bench": "perf_vector_sim",
+        "gates": n_gates,
+        "width_words": width,
+        "patterns": patterns,
+        "python_patterns_per_s": patterns / python_s,
+        "vector_patterns_per_s": patterns / vector_s,
+        "speedup": python_s / vector_s,
+    }
+    publish("perf_vector_sim.txt", (
+        f"perf: vector simulation, {n_gates} gates, "
+        f"{patterns} patterns (W={width})\n"
+        f"  python plan  : {data['python_patterns_per_s']:>12.0f} "
+        f"patterns/s\n"
+        f"  numpy kernel : {data['vector_patterns_per_s']:>12.0f} "
+        f"patterns/s\n"
+        f"  speedup      : {data['speedup']:.2f}x"), data=data)
+    assert data["speedup"] > 1.0
+
+
+def _pigeonhole_solver(pigeons, holes):
+    s = Solver()
+    v = [[s.new_var() for _ in range(holes)] for _ in range(pigeons)]
+    for p in range(pigeons):
+        s.add_clause(v[p])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                s.add_clause([-v[p1][h], -v[p2][h]])
+    return s
+
+
+def test_perf_sat(benchmark, publish, quick):
+    """Propagation throughput and learned-clause reduction cost of the
+    flat-arena solver."""
+    pigeons = 7 if quick else 8
+    n_learnts = 5000 if quick else 20000
+
+    def measure():
+        s = _pigeonhole_solver(pigeons, pigeons - 1)
+        t0 = time.perf_counter()
+        verdict = s.solve()
+        solve_s = time.perf_counter() - t0
+        assert verdict == "unsat"
+
+        # reduction: synthetic learnt DB, activities spread, watchers
+        # attached — the mark pass plus amortized compaction
+        rng = random.Random(1)
+        r = Solver()
+        vs = [r.new_var() for _ in range(300)]
+        for _ in range(1000):
+            r.add_clause([rng.choice(vs) * rng.choice((1, -1))
+                          for _ in range(3)])
+        for _ in range(n_learnts):
+            lits = list({((rng.randrange(300)) << 1) | rng.randrange(2)
+                         for _ in range(rng.randrange(3, 8))})
+            if len(lits) < 3:
+                continue
+            offset = r._alloc(lits, learnt=True)
+            r._cla_act[offset] = rng.random()
+            r._learnts.append(offset)
+            r._attach(offset)
+        t0 = time.perf_counter()
+        r._reduce_db()
+        reduce_s = time.perf_counter() - t0
+        return solve_s, s.propagations, reduce_s
+
+    solve_s, propagations, reduce_s = benchmark.pedantic(
+        measure, rounds=1, iterations=1)
+    data = {
+        "bench": "perf_sat",
+        "pigeons": pigeons,
+        "propagations": propagations,
+        "props_per_s": propagations / solve_s,
+        "learnts": n_learnts,
+        "reduce_db_ms": reduce_s * 1000,
+    }
+    publish("perf_sat.txt", (
+        f"perf: SAT, pigeonhole({pigeons},{pigeons - 1}) + "
+        f"{n_learnts}-clause reduction\n"
+        f"  propagation : {data['props_per_s']:>12.0f} props/s\n"
+        f"  reduce_db   : {data['reduce_db_ms']:>12.1f} ms"),
+        data=data)
+    assert data["props_per_s"] > 0
 
 
 def test_perf_validation(benchmark, suite_cases, publish):

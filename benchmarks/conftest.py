@@ -22,6 +22,19 @@ from repro.workloads.suite import (
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick", action="store_true", default=False,
+        help="shrink bench workloads (smaller circuits, fewer rounds) "
+             "for the CI perf-smoke job")
+
+
+@pytest.fixture(scope="session")
+def quick(request) -> bool:
+    """True under ``--quick``: CI smoke sizing instead of full runs."""
+    return request.config.getoption("--quick")
+
+
 @pytest.fixture(scope="session")
 def suite_cases() -> Dict[int, EcoCase]:
     """All 11 Table-1/2 cases, built once."""

@@ -22,6 +22,10 @@ relies on but Python cannot express:
   outside the sanctioned packages.
 * ``RI006`` — no ``print()`` in library modules; only the CLI prints,
   everything else logs.
+* ``RI007`` — no ``numpy`` imports outside the vector kernel module
+  :mod:`repro.netlist.simd`; numpy is an *optional* extra
+  (``repro[perf]``) and every other module must stay importable
+  without it, reaching the arrays only through the simd facade.
 
 Allowlists are module-path prefixes relative to the package root
 (POSIX separators); they are part of the invariant definition and are
@@ -62,6 +66,12 @@ MUTATION_ALLOWED: Tuple[str, ...] = (
     "repro/cec/",
     "repro/baselines/",
     "repro/workloads/",
+)
+
+#: the only module allowed to import numpy (the optional ``perf``
+#: extra); everything else goes through the repro.netlist.simd facade
+NUMPY_ALLOWED: Tuple[str, ...] = (
+    "repro/netlist/simd.py",
 )
 
 #: modules allowed to print to stdout
@@ -170,6 +180,34 @@ class _InvariantVisitor(ast.NodeVisitor):
                 node,
                 hint="work on a Circuit.copy() or move the edit into "
                      "repro.netlist / repro.eco / repro.synth")
+
+    # ------------------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.split(".", 1)[0]
+            if root == "numpy" \
+                    and not _allowed(self.module, NUMPY_ALLOWED):
+                self._flag(
+                    "RI007",
+                    "numpy import outside the vector kernel module",
+                    node,
+                    hint="numpy is the optional repro[perf] extra; go "
+                         "through repro.netlist.simd so every module "
+                         "stays importable without it")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        root = (node.module or "").split(".", 1)[0]
+        if root == "numpy" and node.level == 0 \
+                and not _allowed(self.module, NUMPY_ALLOWED):
+            self._flag(
+                "RI007",
+                "numpy import outside the vector kernel module",
+                node,
+                hint="numpy is the optional repro[perf] extra; go "
+                     "through repro.netlist.simd so every module "
+                     "stays importable without it")
+        self.generic_visit(node)
 
     # ------------------------------------------------------------------
     def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:

@@ -21,6 +21,7 @@ import random
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import NetlistError
+from repro.netlist import simd
 from repro.netlist.circuit import Circuit
 from repro.netlist.gate import WORD_BITS, WORD_MASK, GateType, eval_gate
 from repro.netlist.traverse import topological_order
@@ -104,9 +105,15 @@ class CompiledPlan:
 
     A plan is immutable and pure data (tuples of ints and strings), so
     it pickles cleanly and can be shared across process-pool workers.
+    When the numpy backend is active (:mod:`repro.netlist.simd`),
+    whole-word batches are dispatched to a lazily compiled
+    :class:`~repro.netlist.simd.VectorPlan` twin; the ``_vec`` cache is
+    dropped on pickling so plans still cross process boundaries into
+    numpy-free interpreters.
     """
 
-    __slots__ = ("names", "index", "num_inputs", "steps", "evals")
+    __slots__ = ("names", "index", "num_inputs", "steps", "evals",
+                 "_vec")
 
     def __init__(self, circuit: Circuit,
                  roots: Optional[Sequence[str]] = None):
@@ -137,6 +144,35 @@ class CompiledPlan:
         #: batch evaluations performed through this plan (telemetry;
         #: the engine folds it into ``RunCounters.plan_evals``)
         self.evals = 0
+        self._vec = None
+
+    # ------------------------------------------------------------------
+    # the vector twin must not pickle: plans ship to process-pool
+    # workers that may run in numpy-free interpreters
+    def __getstate__(self):
+        return (self.names, self.index, self.num_inputs, self.steps,
+                self.evals)
+
+    def __setstate__(self, state):
+        (self.names, self.index, self.num_inputs, self.steps,
+         self.evals) = state
+        self._vec = None
+
+    # ------------------------------------------------------------------
+    def vector_plan(self):
+        """The lazily compiled :class:`~repro.netlist.simd.VectorPlan`
+        twin (numpy backend only)."""
+        if self._vec is None:
+            self._vec = simd.compile_vector(self)
+        return self._vec
+
+    @staticmethod
+    def _mask_words(mask: int) -> int:
+        """Word count of a whole-word batch mask, else 0."""
+        bits = mask.bit_length()
+        if bits % WORD_BITS == 0 and mask == (1 << bits) - 1:
+            return bits // WORD_BITS
+        return 0
 
     # ------------------------------------------------------------------
     def run(self, input_words: Mapping[str, int],
@@ -144,8 +180,16 @@ class CompiledPlan:
         """Evaluate one batch; returns values indexed like ``names``.
 
         ``mask`` widens the batch: pass :func:`batch_mask` of the word
-        count to evaluate ``W`` x 64 patterns in one pass.
+        count to evaluate ``W`` x 64 patterns in one pass.  Whole-word
+        batches ride the numpy level-batched kernel when the vector
+        backend is active (bit-identical; see
+        :mod:`repro.netlist.simd`).
         """
+        width = self._mask_words(mask)
+        if width and simd.use_vector_run(width, len(self.steps)):
+            self.evals += 1
+            return self.vector_plan().run_ints(self.names, input_words,
+                                               width)
         values = [0] * len(self.names)
         names = self.names
         for i in range(self.num_inputs):
@@ -190,6 +234,22 @@ class CompiledPlan:
         """Like :meth:`run`, as a name -> value mapping."""
         values = self.run(input_words, mask)
         return dict(zip(self.names, values))
+
+    def run_lanes(self, input_words: Mapping[str, int], width: int):
+        """Array-native evaluation: a ``(num_nets, width)`` uint64
+        ndarray indexed like ``names`` (lane ``w`` = patterns
+        ``64*w..64*w+63``).  Requires the numpy backend; array
+        consumers (benchmarks, the batched candidate screen) use this
+        to skip the ndarray -> bignum conversion that :meth:`run`
+        pays on the vector path.
+        """
+        if not simd.HAVE_NUMPY:
+            raise NetlistError(
+                "CompiledPlan.run_lanes requires numpy "
+                "(pip install repro[perf])")
+        self.evals += 1
+        return self.vector_plan().run_lanes(self.names, input_words,
+                                            width)
 
 
 _PLAN_KEY = "sim_plan"

@@ -13,6 +13,15 @@ Implements the conflict-driven clause-learning architecture of MiniSAT:
 Literals use the DIMACS convention at the API boundary: variables are
 positive integers from :meth:`Solver.new_var`, a negative integer is
 the negated literal.  Internally literals are ``2*var + sign``.
+
+Clause storage is a *flat arena* (``_ca``): one growable int list
+holding every clause as ``[header, lit, lit, ...]``, where the header
+packs ``size << 2 | learnt << 1 | deleted``.  A clause reference is
+its arena offset — watcher lists, reasons and the clause databases are
+plain int lists — so propagation walks contiguous integers instead of
+chasing per-clause Python objects.  Learned-clause reduction *marks*
+clauses deleted in one pass (watchers drop them lazily on the next
+visit) and the arena is compacted when more than half of it is dead.
 """
 
 from __future__ import annotations
@@ -26,6 +35,13 @@ UNSAT = "unsat"
 UNKNOWN = "unknown"
 
 _UNDEF = -1
+#: clause-reference sentinel: "no clause" (reasons, conflict results)
+_NO_CLAUSE = -1
+
+# header bit layout of an arena clause
+_DELETED_BIT = 1
+_LEARNT_BIT = 2
+_SIZE_SHIFT = 2
 
 
 def _mklit(var: int, negative: bool) -> int:
@@ -44,15 +60,6 @@ def _lit_sign(lit: int) -> bool:
     return bool(lit & 1)
 
 
-class _Clause:
-    __slots__ = ("lits", "learnt", "activity")
-
-    def __init__(self, lits: List[int], learnt: bool):
-        self.lits = lits
-        self.learnt = learnt
-        self.activity = 0.0
-
-
 class Solver:
     """Incremental CDCL solver.
 
@@ -68,12 +75,16 @@ class Solver:
 
     def __init__(self):
         self._num_vars = 0
-        self._clauses: List[_Clause] = []
-        self._learnts: List[_Clause] = []
-        self._watches: List[List[_Clause]] = []  # per internal literal
+        #: flat clause arena: [header, lit, lit, ...] per clause
+        self._ca: List[int] = []
+        #: arena ints occupied by deleted clauses (compaction trigger)
+        self._wasted = 0
+        self._clauses: List[int] = []  # problem-clause offsets
+        self._learnts: List[int] = []  # learnt-clause offsets
+        self._watches: List[List[int]] = []  # per internal literal
         self._assign: List[int] = []  # per var: 1 true, 0 false, -1 undef
         self._level: List[int] = []
-        self._reason: List[Optional[_Clause]] = []
+        self._reason: List[int] = []  # per var: clause offset or -1
         self._trail: List[int] = []  # internal literals in assignment order
         self._trail_lim: List[int] = []
         self._qhead = 0
@@ -82,6 +93,7 @@ class Solver:
         self._var_decay = 0.95
         self._cla_inc = 1.0
         self._cla_decay = 0.999
+        self._cla_act: Dict[int, float] = {}  # learnt offset -> activity
         self._saved_phase: List[bool] = []
         # indexed binary max-heap over variable activity (the MiniSAT
         # order heap): _heap holds vars, _heap_pos maps var -> slot
@@ -98,6 +110,50 @@ class Solver:
         self._core: Optional[List[int]] = None
 
     # ------------------------------------------------------------------
+    # clause arena
+    # ------------------------------------------------------------------
+    def _alloc(self, lits: Sequence[int], learnt: bool) -> int:
+        """Append a clause to the arena; returns its offset."""
+        ca = self._ca
+        offset = len(ca)
+        ca.append((len(lits) << _SIZE_SHIFT)
+                  | (_LEARNT_BIT if learnt else 0))
+        ca.extend(lits)
+        return offset
+
+    def _clause_lits(self, offset: int) -> List[int]:
+        ca = self._ca
+        return ca[offset + 1:offset + 1 + (ca[offset] >> _SIZE_SHIFT)]
+
+    def _compact(self) -> None:
+        """Rebuild the arena without deleted clauses, remapping every
+        stored offset (databases, watchers, reasons, activities)."""
+        ca = self._ca
+        new_ca: List[int] = []
+        remap: Dict[int, int] = {}
+        for group in (self._clauses, self._learnts):
+            for c in group:
+                header = ca[c]
+                remap[c] = len(new_ca)
+                new_ca.append(header)
+                new_ca.extend(ca[c + 1:c + 1 + (header >> _SIZE_SHIFT)])
+        self._clauses = [remap[c] for c in self._clauses]
+        self._learnts = [remap[c] for c in self._learnts]
+        self._cla_act = {
+            remap[c]: a for c, a in self._cla_act.items() if c in remap
+        }
+        self._reason = [
+            remap[r] if r >= 0 else _NO_CLAUSE for r in self._reason
+        ]
+        watches = self._watches
+        for w in range(len(watches)):
+            watches[w] = [
+                remap[c] for c in watches[w] if not ca[c] & _DELETED_BIT
+            ]
+        self._ca = new_ca
+        self._wasted = 0
+
+    # ------------------------------------------------------------------
     # problem construction
     # ------------------------------------------------------------------
     def new_var(self) -> int:
@@ -105,7 +161,7 @@ class Solver:
         self._num_vars += 1
         self._assign.append(_UNDEF)
         self._level.append(0)
-        self._reason.append(None)
+        self._reason.append(_NO_CLAUSE)
         self._activity.append(0.0)
         self._saved_phase.append(False)
         var = self._num_vars - 1
@@ -152,22 +208,23 @@ class Solver:
             self._ok = False
             return False
         if len(out) == 1:
-            if not self._enqueue(out[0], None):
+            if not self._enqueue(out[0], _NO_CLAUSE):
                 self._ok = False
                 return False
             conflict = self._propagate()
-            if conflict is not None:
+            if conflict != _NO_CLAUSE:
                 self._ok = False
                 return False
             return True
-        clause = _Clause(out, learnt=False)
-        self._clauses.append(clause)
-        self._attach(clause)
+        offset = self._alloc(out, learnt=False)
+        self._clauses.append(offset)
+        self._attach(offset)
         return True
 
-    def _attach(self, clause: _Clause) -> None:
-        self._watches[_lit_neg(clause.lits[0])].append(clause)
-        self._watches[_lit_neg(clause.lits[1])].append(clause)
+    def _attach(self, offset: int) -> None:
+        ca = self._ca
+        self._watches[_lit_neg(ca[offset + 1])].append(offset)
+        self._watches[_lit_neg(ca[offset + 2])].append(offset)
 
     # ------------------------------------------------------------------
     # assignment primitives
@@ -179,7 +236,7 @@ class Solver:
             return _UNDEF
         return v ^ (lit & 1)
 
-    def _enqueue(self, lit: int, reason: Optional[_Clause]) -> bool:
+    def _enqueue(self, lit: int, reason: int) -> bool:
         val = self._value(lit)
         if val != _UNDEF:
             return val == 1
@@ -190,61 +247,75 @@ class Solver:
         self._trail.append(lit)
         return True
 
-    def _propagate(self) -> Optional[_Clause]:
-        """Unit propagation; returns a conflicting clause or None.
+    def _propagate(self) -> int:
+        """Unit propagation; returns a conflicting clause offset or
+        :data:`_NO_CLAUSE`.
 
         Literal values are computed inline from the assignment array
-        (``assign[var] ^ sign``) instead of through :meth:`_value`:
-        this loop dominates solver runtime and the call overhead is
-        measurable.
+        (``assign[var] ^ sign``) instead of through :meth:`_value`, and
+        clauses are walked directly in the flat arena: this loop
+        dominates solver runtime.  Clauses marked deleted by
+        :meth:`_reduce_db` are dropped from the watcher list here,
+        lazily, on their first visit.
         """
         assign = self._assign
         watches = self._watches
         trail = self._trail
-        while self._qhead < len(trail):
-            lit = trail[self._qhead]
-            self._qhead += 1
-            self.propagations += 1
+        ca = self._ca
+        qhead = self._qhead
+        props = 0
+        while qhead < len(trail):
+            lit = trail[qhead]
+            qhead += 1
+            props += 1
             watchers = watches[lit]
             watches[lit] = []
-            kept: List[_Clause] = []
+            kept: List[int] = []
             i = 0
             n = len(watchers)
             false_lit = lit ^ 1
             while i < n:
-                clause = watchers[i]
+                offset = watchers[i]
                 i += 1
-                lits = clause.lits
-                # ensure the false literal is lits[1]
-                if lits[0] == false_lit:
-                    lits[0], lits[1] = lits[1], lits[0]
-                first = lits[0]
+                header = ca[offset]
+                if header & 1:  # _DELETED_BIT
+                    continue  # reduced away; unhook lazily
+                # ensure the false literal is in slot 1
+                first = ca[offset + 1]
+                if first == false_lit:
+                    first = ca[offset + 2]
+                    ca[offset + 1] = first
+                    ca[offset + 2] = false_lit
                 fv = assign[first >> 1]
-                if fv != _UNDEF and (fv ^ (first & 1)) == 1:
-                    kept.append(clause)
+                if fv >= 0 and (fv ^ (first & 1)) == 1:
+                    kept.append(offset)
                     continue
                 # search replacement watch (any non-false literal)
                 found = False
-                for k in range(2, len(lits)):
-                    other = lits[k]
+                for k in range(offset + 3, offset + 1 + (header >> 2)):
+                    other = ca[k]
                     ov = assign[other >> 1]
-                    if ov == _UNDEF or (ov ^ (other & 1)) == 1:
-                        lits[1], lits[k] = lits[k], lits[1]
-                        watches[lits[1] ^ 1].append(clause)
+                    if ov < 0 or (ov ^ (other & 1)) == 1:
+                        ca[offset + 2] = other
+                        ca[k] = false_lit
+                        watches[other ^ 1].append(offset)
                         found = True
                         break
                 if found:
                     continue
                 # clause is unit or conflicting
-                kept.append(clause)
-                if not self._enqueue(first, clause):
+                kept.append(offset)
+                if not self._enqueue(first, offset):
                     # conflict: restore remaining watchers
                     kept.extend(watchers[i:])
-                    self._watches[lit].extend(kept)
-                    self._qhead = len(self._trail)
-                    return clause
-            self._watches[lit].extend(kept)
-        return None
+                    watches[lit].extend(kept)
+                    self._qhead = len(trail)
+                    self.propagations += props
+                    return offset
+            watches[lit].extend(kept)
+        self._qhead = qhead
+        self.propagations += props
+        return _NO_CLAUSE
 
     def _decision_level(self) -> int:
         return len(self._trail_lim)
@@ -260,7 +331,7 @@ class Solver:
             var = _lit_var(lit)
             self._saved_phase[var] = self._assign[var] == 1
             self._assign[var] = _UNDEF
-            self._reason[var] = None
+            self._reason[var] = _NO_CLAUSE
             self._heap_insert(var)
         del self._trail[limit:]
         del self._trail_lim[level:]
@@ -326,27 +397,34 @@ class Solver:
         if pos != -1:
             self._heap_up(pos)
 
-    def _bump_clause(self, clause: _Clause) -> None:
-        clause.activity += self._cla_inc
-        if clause.activity > 1e20:
+    def _bump_clause(self, offset: int) -> None:
+        act = self._cla_act
+        value = act.get(offset, 0.0) + self._cla_inc
+        act[offset] = value
+        if value > 1e20:
             for c in self._learnts:
-                c.activity *= 1e-20
+                if c in act:
+                    act[c] *= 1e-20
             self._cla_inc *= 1e-20
 
-    def _analyze(self, conflict: _Clause) -> (List[int], int):
+    def _analyze(self, conflict: int) -> (List[int], int):
         """First-UIP learning; returns (learnt clause, backtrack level)."""
+        ca = self._ca
         learnt: List[int] = [0]  # slot 0 for the asserting literal
         seen = [False] * self._num_vars
         counter = 0
         lit: Optional[int] = None
         index = len(self._trail) - 1
-        reason: Optional[_Clause] = conflict
+        reason = conflict
 
         while True:
-            assert reason is not None
-            if reason.learnt:
+            assert reason != _NO_CLAUSE
+            header = ca[reason]
+            if header & _LEARNT_BIT:
                 self._bump_clause(reason)
-            for q in reason.lits:
+            for qi in range(reason + 1,
+                            reason + 1 + (header >> _SIZE_SHIFT)):
+                q = ca[qi]
                 if lit is not None and q == lit:
                     continue  # skip the literal being resolved on
                 var = _lit_var(q)
@@ -379,7 +457,7 @@ class Solver:
             abstract |= 1 << (self._level[_lit_var(q)] & 31)
         minimized = [learnt[0]]
         for q in learnt[1:]:
-            if self._reason[_lit_var(q)] is None or \
+            if self._reason[_lit_var(q)] == _NO_CLAUSE or \
                     not self._redundant(q, seen, abstract):
                 minimized.append(q)
         learnt = minimized
@@ -409,6 +487,7 @@ class Solver:
         under assumptions, are exactly the assumption literals) form
         the core.
         """
+        ca = self._ca
         seen = set()
         for lit in seeds:
             if self._level[_lit_var(lit)] > 0:
@@ -419,11 +498,13 @@ class Solver:
             if var not in seen:
                 continue
             reason = self._reason[var]
-            if reason is None:
+            if reason == _NO_CLAUSE:
                 core.append(self._to_dimacs(tlit))
             else:
-                for q in reason.lits:
-                    qvar = _lit_var(q)
+                for qi in range(reason + 1,
+                                reason + 1
+                                + (ca[reason] >> _SIZE_SHIFT)):
+                    qvar = _lit_var(ca[qi])
                     if qvar != var and self._level[qvar] > 0:
                         seen.add(qvar)
         return core
@@ -439,18 +520,21 @@ class Solver:
 
     def _redundant(self, lit: int, seen: List[bool], abstract: int) -> bool:
         """Is ``lit`` implied by other marked literals (minimization)?"""
+        ca = self._ca
         stack = [lit]
         top_seen = dict()
         while stack:
             p = stack.pop()
             reason = self._reason[_lit_var(p)]
-            if reason is None:
+            if reason == _NO_CLAUSE:
                 return False
-            for q in reason.lits[1:]:
+            for qi in range(reason + 2,
+                            reason + 1 + (ca[reason] >> _SIZE_SHIFT)):
+                q = ca[qi]
                 var = _lit_var(q)
                 if seen[var] or top_seen.get(var) or self._level[var] == 0:
                     continue
-                if self._reason[var] is None or \
+                if self._reason[var] == _NO_CLAUSE or \
                         not (abstract >> (self._level[var] & 31)) & 1:
                     return False
                 top_seen[var] = True
@@ -476,27 +560,36 @@ class Solver:
         return -1
 
     def _reduce_db(self) -> None:
-        """Drop the least active half of learned clauses."""
-        self._learnts.sort(key=lambda c: c.activity)
+        """Drop the least active half of learned clauses.
+
+        Clauses are *marked* deleted (header bit) in one pass over the
+        learnt database; watcher lists shed them lazily during
+        propagation, so reduction never rescans every watcher list.
+        The arena is compacted once deleted clauses occupy more than
+        half of it.
+        """
+        ca = self._ca
+        act = self._cla_act
+        self._learnts.sort(key=lambda c: act.get(c, 0.0))
         keep_from = len(self._learnts) // 2
         locked = set()
         for var in range(self._num_vars):
             r = self._reason[var]
-            if r is not None and r.learnt:
-                locked.add(id(r))
-        dropped = []
+            if r != _NO_CLAUSE and ca[r] & _LEARNT_BIT:
+                locked.add(r)
         kept = []
         for i, c in enumerate(self._learnts):
-            if i < keep_from and len(c.lits) > 2 and id(c) not in locked:
-                dropped.append(c)
+            header = ca[c]
+            if i < keep_from and (header >> _SIZE_SHIFT) > 2 \
+                    and c not in locked:
+                ca[c] = header | _DELETED_BIT
+                self._wasted += (header >> _SIZE_SHIFT) + 1
+                act.pop(c, None)
             else:
                 kept.append(c)
-        drop_ids = {id(c) for c in dropped}
-        if drop_ids:
-            for w in range(len(self._watches)):
-                self._watches[w] = [
-                    c for c in self._watches[w] if id(c) not in drop_ids]
         self._learnts = kept
+        if self._wasted * 2 > len(ca):
+            self._compact()
 
     def solve(self, assumptions: Sequence[int] = (),
               conflict_budget: Optional[int] = None) -> str:
@@ -518,7 +611,7 @@ class Solver:
         self._cancel_until(0)
         self._assumption_levels = []
         conflict = self._propagate()
-        if conflict is not None:
+        if conflict != _NO_CLAUSE:
             self._ok = False
             self._core = []
             return UNSAT
@@ -530,7 +623,7 @@ class Solver:
 
         while True:
             conflict = self._propagate()
-            if conflict is not None:
+            if conflict != _NO_CLAUSE:
                 self.conflicts += 1
                 if budget_left is not None:
                     budget_left -= 1
@@ -543,20 +636,21 @@ class Solver:
                     return UNSAT
                 if self._decision_level() <= len(self._assumption_levels):
                     # conflict among assumptions: extract the core
-                    self._core = self._analyze_final(list(conflict.lits))
+                    self._core = self._analyze_final(
+                        self._clause_lits(conflict))
                     self._cancel_until(0)
                     return UNSAT
                 learnt, bt = self._analyze(conflict)
                 bt = max(bt, len(self._assumption_levels))
                 self._cancel_until(bt)
                 if len(learnt) == 1:
-                    self._enqueue(learnt[0], None)
+                    self._enqueue(learnt[0], _NO_CLAUSE)
                 else:
-                    clause = _Clause(learnt, learnt=True)
-                    self._learnts.append(clause)
-                    self._attach(clause)
-                    self._bump_clause(clause)
-                    self._enqueue(learnt[0], clause)
+                    offset = self._alloc(learnt, learnt=True)
+                    self._learnts.append(offset)
+                    self._attach(offset)
+                    self._bump_clause(offset)
+                    self._enqueue(learnt[0], offset)
                 self._var_inc /= self._var_decay
                 self._cla_inc /= self._cla_decay
                 restart_limit -= 1
@@ -584,7 +678,7 @@ class Solver:
                     self._new_decision_level()
                     self._assumption_levels.append(self._decision_level())
                     if val == _UNDEF:
-                        self._enqueue(lit, None)
+                        self._enqueue(lit, _NO_CLAUSE)
                     continue
                 lit = self._pick_branch()
                 if lit == -1:
@@ -594,7 +688,7 @@ class Solver:
                     return SAT
                 self.decisions += 1
                 self._new_decision_level()
-                self._enqueue(lit, None)
+                self._enqueue(lit, _NO_CLAUSE)
 
     # ------------------------------------------------------------------
     # model access

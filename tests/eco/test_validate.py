@@ -215,3 +215,65 @@ class TestSimulationFilter:
         assert filt.passes(fix_o1, "o1", ["o1", "o2"])
         # if o2 were considered passing, the same ops must be rejected
         assert not filt.passes(fix_o1, "o1", ["o1"])
+
+
+class TestBatchScreenParity:
+    """`passes_batch` must be result-identical to per-candidate
+    `passes`, vectorized or not."""
+
+    @staticmethod
+    def _random_candidates(impl, spec, rng, count):
+        from repro.netlist.traverse import topological_order
+
+        gates = list(impl.gates)
+        ports = list(impl.outputs)
+        impl_nets = list(topological_order(impl)) + list(impl.inputs)
+        spec_nets = list(topological_order(spec)) + list(spec.inputs)
+        candidates = []
+        for _ in range(count):
+            ops = []
+            for _ in range(rng.choice((1, 1, 1, 2, 3))):
+                if rng.random() < 0.25:
+                    pin = Pin.output(rng.choice(ports))
+                else:
+                    g = rng.choice(gates)
+                    pin = Pin.gate(g, rng.randrange(
+                        len(impl.gates[g].fanins)))
+                if rng.random() < 0.5:
+                    ops.append(RewireOp(pin, rng.choice(spec_nets),
+                                        from_spec=True))
+                else:
+                    ops.append(RewireOp(pin, rng.choice(impl_nets)))
+            candidates.append(ops)
+        return candidates
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_batch_matches_scalar_oracle(self, backend):
+        import random
+
+        from repro.netlist import simd
+        from tests.conftest import make_random_circuit
+
+        if backend == "numpy" and not simd.HAVE_NUMPY:
+            pytest.skip("numpy not installed")
+        previous = simd.get_backend()
+        try:
+            for seed in range(12):
+                impl = make_random_circuit(seed)
+                spec = make_random_circuit(seed + 500)
+                rng = random.Random(seed + 31)
+                words = [random_patterns(impl.inputs, rng)
+                         for _ in range(3)]
+                filt = SimulationFilter(impl, spec, words)
+                candidates = self._random_candidates(
+                    impl, spec, rng, 12)
+                target = "y0"
+                failing = ["y0", "y1"]
+                simd.set_backend("python")
+                expected = [filt.passes(ops, target, failing)
+                            for ops in candidates]
+                simd.set_backend(backend)
+                got = filt.passes_batch(candidates, target, failing)
+                assert got == expected
+        finally:
+            simd.set_backend(previous)

@@ -73,6 +73,28 @@ class TestRules:
         report = run("print('hello')\n", module="repro/cli.py")
         assert report.ok
 
+    def test_ri007_numpy_import(self):
+        report = run("import numpy as np\n")
+        assert "RI007" in report.codes()
+
+    def test_ri007_from_numpy_import(self):
+        report = run("from numpy import uint64\n")
+        assert "RI007" in report.codes()
+
+    def test_ri007_numpy_submodule_import(self):
+        report = run("import numpy.linalg\n")
+        assert "RI007" in report.codes()
+
+    def test_ri007_allowed_in_simd(self):
+        report = run("import numpy as np\n",
+                     module="repro/netlist/simd.py")
+        assert report.ok
+
+    def test_ri007_relative_import_is_fine(self):
+        # `from .numpy import x` is a local module, not the library
+        report = run("from .numpy import helper\n")
+        assert report.ok
+
     def test_diagnostics_carry_file_location(self):
         report = run("import time\nx = time.time()\n",
                      module="repro/eco/engine.py")
@@ -96,6 +118,7 @@ class TestRealTree:
             "RI004": "try:\n    pass\nexcept:\n    pass\n",
             "RI005": "c.remove_gate('g')\n",
             "RI006": "print(1)\n",
+            "RI007": "import numpy\n",
         }
         fired = {code for code, text in snippets.items()
                  if code in run(text).codes()}

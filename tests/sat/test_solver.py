@@ -256,3 +256,109 @@ class TestUnsatCore:
                 # replaying only the core stays UNSAT
                 s2 = make_solver(n, clauses)
                 assert s2.solve(assumptions=core) == UNSAT
+
+
+class TestClauseArena:
+    """The flat-arena clause store: lazy deletion and compaction."""
+
+    @staticmethod
+    def _php(pigeons, holes):
+        """Pigeonhole CNF: enough conflicts to trigger reductions."""
+        s = Solver()
+        v = [[s.new_var() for _ in range(holes)]
+             for _ in range(pigeons)]
+        for p in range(pigeons):
+            s.add_clause(v[p])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    s.add_clause([-v[p1][h], -v[p2][h]])
+        return s
+
+    def test_arena_layout(self):
+        s = Solver()
+        a, b, c = s.new_var(), s.new_var(), s.new_var()
+        assert s.add_clause([a, -b, c])
+        [offset] = s._clauses
+        header = s._ca[offset]
+        assert header >> 2 == 3          # size
+        assert not header & 2            # not learnt
+        assert not header & 1            # not deleted
+        lits = s._ca[offset + 1:offset + 4]
+        assert sorted(lits) == sorted(
+            [(a - 1) << 1, ((b - 1) << 1) | 1, (c - 1) << 1])
+
+    def test_reduce_marks_deleted_and_watchers_shed_lazily(self):
+        s = self._php(6, 5)
+        assert s.solve() == UNSAT
+        ca = s._ca
+        # live databases never reference a deleted clause
+        for offset in s._clauses + s._learnts:
+            assert not ca[offset] & 1
+        # any deleted offsets still hooked into watcher lists are
+        # dropped on the next propagation visit, not corrupted
+        for watchers in s._watches:
+            for offset in watchers:
+                assert ca[offset] >> 2 >= 2
+
+    def test_reduction_halves_learnt_db(self):
+        s = self._php(7, 6)
+        assert s.solve() == UNSAT
+        before = len(s._learnts)
+        # simulate activity spread, then reduce directly
+        s._reduce_db()
+        after = len(s._learnts)
+        assert after <= before
+        for offset in s._learnts:
+            assert not s._ca[offset] & 1
+
+    def test_compaction_preserves_state(self):
+        s = self._php(6, 5)
+        assert s.solve() == UNSAT
+        model_clauses = [s._clause_lits(c) for c in s._clauses]
+        s._compact()
+        assert s._wasted == 0
+        assert [s._clause_lits(c) for c in s._clauses] == model_clauses
+        for offset in s._clauses + s._learnts:
+            assert not s._ca[offset] & 1
+        # solver still functional after compaction
+        assert s.solve() == UNSAT
+
+    def test_locked_reasons_survive_reduction(self):
+        s = Solver()
+        vs = [s.new_var() for _ in range(4)]
+        s.add_clause(vs)
+        assert s.solve() == SAT
+        # fabricate a learnt clause locked as a reason
+        lits = [(v - 1) << 1 for v in vs[:3]]
+        offset = s._alloc(lits, learnt=True)
+        s._learnts.append(offset)
+        s._attach(offset)
+        s._reason[0] = offset
+        s._cla_act[offset] = 0.0
+        # pad with higher-activity learnts so the locked one is in the
+        # drop half
+        for k in range(9):
+            extra = s._alloc(lits, learnt=True)
+            s._learnts.append(extra)
+            s._attach(extra)
+            s._cla_act[extra] = 1.0 + k
+        s._reduce_db()
+        assert offset in s._learnts
+        assert not s._ca[offset] & 1
+        s._reason[0] = -1
+
+    def test_binary_learnts_never_dropped(self):
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([a, b])
+        lits = [(a - 1) << 1, ((b - 1) << 1) | 1]
+        kept = []
+        for k in range(10):
+            offset = s._alloc(lits, learnt=True)
+            s._learnts.append(offset)
+            s._attach(offset)
+            s._cla_act[offset] = float(k)
+            kept.append(offset)
+        s._reduce_db()
+        assert sorted(s._learnts) == sorted(kept)
